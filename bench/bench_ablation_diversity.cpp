@@ -1,0 +1,111 @@
+// Ablation A2: where does ensemble diversity come from, and how much does
+// each source matter for uncertainty quality?
+//
+// The paper uses plain bagging (bootstrap resampling). This bench compares,
+// for the DVFS dataset and each base-learner family:
+//   bootstrap    — the paper's configuration
+//   subagging    — 50% replicates drawn without replacement
+//   subspace     — bootstrap + 50% random feature subspaces
+//   none         — every member sees the full dataset; only the learner's
+//                  internal randomness differs (Lakshminarayanan-style
+//                  random-init diversity; deterministic learners collapse)
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace hmd;
+
+ml::ClassifierFactory base_factory(core::ModelKind kind) {
+  switch (kind) {
+    case core::ModelKind::kRandomForest: {
+      ml::DecisionTreeParams tree;
+      tree.max_features = 0;  // per-split feature subsampling
+      return [tree]() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::DecisionTree>(tree);
+      };
+    }
+    case core::ModelKind::kBaggedLogistic:
+      return []() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::LogisticRegression>();
+      };
+    case core::ModelKind::kBaggedSvm:
+      return []() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::LinearSvm>();
+      };
+  }
+  throw InvalidArgument("base_factory: bad kind");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = hmd::bench::parse_bench_args(argc, argv);
+  const auto bundle = hmd::bench::dvfs_bundle(options);
+
+  hmd::bench::print_header(
+      "Ablation A2 — sources of ensemble diversity (DVFS dataset)",
+      "OOD AUROC and unknown rejection at <=5% known cost, per variant");
+
+  ml::StandardScaler scaler;
+  const Matrix train_x = scaler.fit_transform(bundle.train.X);
+  const Matrix test_x = scaler.transform(bundle.test.X);
+  const Matrix unknown_x = scaler.transform(bundle.unknown.X);
+
+  struct Variant {
+    std::string name;
+    bool bootstrap;
+    double sample_fraction;
+    double feature_fraction;
+  };
+  const std::vector<Variant> variants{
+      {"bootstrap", true, 1.0, 1.0},
+      {"subagging 50%", false, 0.5, 1.0},
+      {"subspace 50%", true, 1.0, 0.5},
+      {"none (seed only)", false, 1.0, 1.0},
+  };
+
+  ConsoleTable table({"Base", "Diversity", "AUROC", "rej@5%", "test acc"});
+  for (auto kind : {core::ModelKind::kRandomForest,
+                    core::ModelKind::kBaggedLogistic,
+                    core::ModelKind::kBaggedSvm}) {
+    for (const auto& variant : variants) {
+      ml::BaggingParams params;
+      params.n_members = options.n_members;
+      params.seed = 99;
+      params.n_threads = options.n_threads;
+      params.bootstrap = variant.bootstrap;
+      params.sample_fraction = variant.sample_fraction;
+      params.feature_fraction = variant.feature_fraction;
+      ml::Bagging ensemble(base_factory(kind), params);
+      ensemble.fit(train_x, bundle.train.y);
+
+      const core::UncertaintyEstimator estimator(
+          core::EnsembleView::of(ensemble));
+      core::EntropyDistributions dists;
+      dists.known =
+          estimator.scores(test_x, core::UncertaintyMode::kVoteEntropy);
+      dists.unknown =
+          estimator.scores(unknown_x, core::UncertaintyMode::kVoteEntropy);
+      const auto grid = core::threshold_grid(0.0, 0.70, 141);
+      const auto op =
+          core::best_operating_point(dists.known, dists.unknown, grid, 5.0);
+      const auto pred = ensemble.predict(test_x);
+      table.add_row({core::model_kind_name(kind), variant.name,
+                     ConsoleTable::fmt(core::ood_auroc(dists), 3),
+                     ConsoleTable::fmt(op.rejected_unknown, 1),
+                     ConsoleTable::fmt(
+                         ml::accuracy_score(bundle.test.y, pred), 3)});
+    }
+  }
+  std::cout << table;
+  std::cout << "(expected: trees keep diversity everywhere; deterministic "
+               "linear members collapse\n under 'none' — resampling is what "
+               "creates their uncertainty signal)\n";
+  hmd::write_text_file("bench_results/ablation_diversity.csv", table.to_csv());
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "datasets/io.h"
+
+namespace hmd::bench {
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) -> std::string {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--scale=", 0) == 0) {
+      options.scale = std::stod(value_of("--scale="));
+      HMD_REQUIRE(options.scale > 0.0 && options.scale <= 1.0,
+                  "--scale must lie in (0, 1]");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.dvfs_seed = std::stoull(value_of("--seed="));
+      options.hpc_seed = options.dvfs_seed + 6;
+    } else if (arg.rfind("--members=", 0) == 0) {
+      options.n_members = std::stoi(value_of("--members="));
+      HMD_REQUIRE(options.n_members >= 1, "--members must be >= 1");
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --scale=<0..1> --seed=<n> --members=<n> "
+                   "--no-cache\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+namespace {
+
+std::size_t scaled(std::size_t count, double scale) {
+  return std::max<std::size_t>(
+      32, static_cast<std::size_t>(std::llround(
+              static_cast<double>(count) * scale)));
+}
+
+std::string cache_stem(const BenchOptions& options, const std::string& name,
+                       std::uint64_t seed) {
+  std::ostringstream os;
+  os << options.cache_dir << "/" << name << "_s" << seed << "_x"
+     << static_cast<int>(options.scale * 1000.0);
+  return os.str();
+}
+
+}  // namespace
+
+data::DatasetBundle dvfs_bundle(const BenchOptions& options) {
+  const std::string stem = cache_stem(options, "dvfs", options.dvfs_seed);
+  if (options.use_cache && data::bundle_exists(stem)) {
+    std::cerr << "[bench] loading cached DVFS bundle from " << stem << "\n";
+    return data::load_bundle("DVFS", stem);
+  }
+  std::cerr << "[bench] generating DVFS bundle (scale=" << options.scale
+            << ") ...\n";
+  data::DvfsDatasetConfig config;
+  config.seed = options.dvfs_seed;
+  config.n_train = scaled(config.n_train, options.scale);
+  config.n_test = scaled(config.n_test, options.scale);
+  config.n_unknown = scaled(config.n_unknown, options.scale);
+  auto bundle = data::build_dvfs_dataset(config);
+  if (options.use_cache) data::save_bundle(bundle, stem);
+  return bundle;
+}
+
+data::DatasetBundle hpc_bundle(const BenchOptions& options) {
+  const std::string stem = cache_stem(options, "hpc", options.hpc_seed);
+  if (options.use_cache && data::bundle_exists(stem)) {
+    std::cerr << "[bench] loading cached HPC bundle from " << stem << "\n";
+    return data::load_bundle("HPC", stem);
+  }
+  std::cerr << "[bench] generating HPC bundle (scale=" << options.scale
+            << ") ...\n";
+  data::HpcDatasetConfig config;
+  config.seed = options.hpc_seed;
+  config.n_train = scaled(config.n_train, options.scale);
+  config.n_test = scaled(config.n_test, options.scale);
+  config.n_unknown = scaled(config.n_unknown, options.scale);
+  auto bundle = data::build_hpc_dataset(config);
+  if (options.use_cache) data::save_bundle(bundle, stem);
+  return bundle;
+}
+
+core::HmdConfig paper_config(const BenchOptions& options,
+                             core::ModelKind kind) {
+  core::HmdConfig config;
+  config.model = kind;
+  config.n_members = options.n_members;
+  config.n_threads = options.n_threads;
+  config.entropy_threshold = 0.40;  // the paper's RF operating point
+  config.mode = core::UncertaintyMode::kVoteEntropy;
+  config.seed = 99;
+  return config;
+}
+
+std::string ascii_boxplot(const BoxplotStats& stats, double lo, double hi,
+                          std::size_t width) {
+  HMD_REQUIRE(hi > lo && width >= 16, "ascii_boxplot: bad range/width");
+  std::string strip(width, ' ');
+  auto pos = [&](double value) {
+    const double t = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+    return static_cast<std::size_t>(t * static_cast<double>(width - 1));
+  };
+  for (std::size_t i = pos(stats.whisker_low); i <= pos(stats.whisker_high);
+       ++i) {
+    strip[i] = '-';
+  }
+  for (std::size_t i = pos(stats.q1); i <= pos(stats.q3); ++i) {
+    strip[i] = '=';
+  }
+  strip[pos(stats.whisker_low)] = '|';
+  strip[pos(stats.whisker_high)] = '|';
+  strip[pos(stats.median)] = '#';
+  return strip;
+}
+
+void print_header(const std::string& title, const std::string& subtitle) {
+  std::cout << "\n" << std::string(74, '=') << "\n"
+            << title << "\n" << subtitle << "\n"
+            << std::string(74, '=') << "\n";
+}
+
+}  // namespace hmd::bench

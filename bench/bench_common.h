@@ -1,0 +1,58 @@
+#pragma once
+// Shared infrastructure of the bench harness.
+//
+// Every bench binary regenerates one table or figure of the paper. They all
+// consume the same two dataset bundles (Table I), which are expensive to
+// simulate, so the first bench to run materialises them into an on-disk CSV
+// cache (./dataset_cache relative to the working directory) and later
+// benches just load the cache.
+//
+// Common flags (parsed by parse_bench_args):
+//   --scale=<f>    scale Table I sample counts by f (default 1.0)
+//   --seed=<n>     dataset generation seed override
+//   --members=<n>  ensemble size M (default 100)
+//   --no-cache     force regeneration, do not touch the cache
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/evaluation.h"
+#include "datasets/dvfs_dataset.h"
+#include "datasets/hpc_dataset.h"
+
+namespace hmd::bench {
+
+/// Options shared by all bench binaries.
+struct BenchOptions {
+  double scale = 1.0;
+  std::uint64_t dvfs_seed = 7;
+  std::uint64_t hpc_seed = 13;
+  int n_members = 100;
+  int n_threads = 0;
+  bool use_cache = true;
+  std::string cache_dir = "dataset_cache";
+};
+
+/// Parse argv into BenchOptions; unknown flags abort with a usage message.
+BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Load (or build + cache) the DVFS bundle at the requested scale.
+data::DatasetBundle dvfs_bundle(const BenchOptions& options);
+
+/// Load (or build + cache) the HPC bundle at the requested scale.
+data::DatasetBundle hpc_bundle(const BenchOptions& options);
+
+/// HmdConfig preset matching the paper's setup (M members, vote entropy).
+core::HmdConfig paper_config(const BenchOptions& options,
+                             core::ModelKind kind);
+
+/// Render one boxplot row as an ASCII strip over [0, ln 2].
+std::string ascii_boxplot(const BoxplotStats& stats, double lo, double hi,
+                          std::size_t width = 56);
+
+/// Print a section header.
+void print_header(const std::string& title, const std::string& subtitle);
+
+}  // namespace hmd::bench

@@ -1,0 +1,69 @@
+// Regenerates Fig. 7a of the paper: percentage of known and unknown DVFS
+// inputs rejected as the entropy threshold sweeps from 0 to 0.75, for the
+// RF, LR and SVM ensembles.
+//
+// Paper shape: RF-unknown stays near 100% rejection until ~0.4 and the
+// paper's operating point (threshold 0.40) rejects ~95% of unknown at <5%
+// known; LR sits in between; SVM rejects little beyond tiny thresholds.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hmd;
+  using core::ModelKind;
+  const auto options = bench::parse_bench_args(argc, argv);
+  const auto bundle = bench::dvfs_bundle(options);
+
+  bench::print_header(
+      "Fig. 7a — Rejected inputs vs entropy threshold, DVFS dataset",
+      "series: {RF, LR, SVM} x {unknown, known}, percent rejected");
+
+  const auto thresholds = core::threshold_grid(0.0, 0.75, 16);
+  std::vector<std::string> headers{"threshold"};
+  std::vector<std::vector<double>> series;
+  std::vector<std::string> op_lines;
+  for (auto kind : {ModelKind::kRandomForest, ModelKind::kBaggedLogistic,
+                    ModelKind::kBaggedSvm}) {
+    core::TrustedHmd hmd(bench::paper_config(options, kind));
+    hmd.fit(bundle.train);
+    const auto dists = core::entropy_distributions(hmd, bundle);
+    const auto curve =
+        core::rejection_curve(dists.known, dists.unknown, thresholds);
+    const std::string name = core::model_kind_name(kind);
+    headers.push_back(name + "-unknown");
+    headers.push_back(name + "-known");
+    std::vector<double> unknown_col, known_col;
+    for (const auto& point : curve) {
+      unknown_col.push_back(point.rejected_unknown);
+      known_col.push_back(point.rejected_known);
+    }
+    series.push_back(unknown_col);
+    series.push_back(known_col);
+
+    const auto op = core::best_operating_point(dists.known, dists.unknown,
+                                               thresholds, 5.0);
+    op_lines.push_back(name + ": best <=5%-known operating point at tau=" +
+                       ConsoleTable::fmt(op.threshold, 2) + " rejects " +
+                       ConsoleTable::fmt(op.rejected_unknown, 1) +
+                       "% unknown / " +
+                       ConsoleTable::fmt(op.rejected_known, 1) + "% known");
+  }
+
+  ConsoleTable table(headers);
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    std::vector<std::string> row{ConsoleTable::fmt(thresholds[t], 2)};
+    for (const auto& column : series) {
+      row.push_back(ConsoleTable::fmt(column[t], 1));
+    }
+    table.add_row(row);
+  }
+  std::cout << table;
+  for (const auto& line : op_lines) std::cout << line << "\n";
+  std::cout << "(paper: RF tau=0.40 rejects ~95% unknown at <5% known; "
+               "SVM tau=0.04 rejects only ~40% unknown)\n";
+  write_text_file("bench_results/fig7a_dvfs_rejection.csv", table.to_csv());
+  std::cout << "[series written to bench_results/fig7a_dvfs_rejection.csv]\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Regenerates Fig. 8 of the paper: t-SNE visualisation of the latent space
+// of the training data (benign + malware) together with the unknown split,
+// for both datasets. The figure itself is a scatter plot; this bench writes
+// the 2-D embeddings as CSV (for plotting) and prints the quantitative
+// geometry the paper reads off the plot:
+//
+//  * DVFS (Fig. 8a): benign and malware form disjoint clusters (high 1-NN
+//    label agreement) and the unknown data sits away from the training
+//    clusters (large distance to the nearest known neighbour).
+//  * HPC (Fig. 8b): the classes overlap (low 1-NN agreement) and the
+//    unknown data falls inside the overlap region, not outside.
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "ml/preprocessing.h"
+#include "tsne/tsne.h"
+
+namespace {
+
+using namespace hmd;
+
+struct EmbeddingStats {
+  double knn_label_agreement = 0.0;  ///< 1-NN agreement among known points
+  double unknown_to_known = 0.0;     ///< median NN distance unknown->known
+  double known_to_known = 0.0;       ///< median NN distance known->known
+};
+
+EmbeddingStats analyse(const Matrix& embedding,
+                       const std::vector<int>& labels, std::size_t n_known) {
+  EmbeddingStats stats;
+  std::size_t agree = 0;
+  std::vector<double> known_nn, unknown_nn;
+  for (std::size_t i = 0; i < embedding.rows(); ++i) {
+    double best = 1e300;
+    std::size_t nn = i;
+    for (std::size_t j = 0; j < n_known; ++j) {
+      if (j == i) continue;
+      const double d =
+          squared_distance(embedding.row(i), embedding.row(j));
+      if (d < best) {
+        best = d;
+        nn = j;
+      }
+    }
+    if (i < n_known) {
+      agree += labels[i] == labels[nn];
+      known_nn.push_back(std::sqrt(best));
+    } else {
+      unknown_nn.push_back(std::sqrt(best));
+    }
+  }
+  stats.knn_label_agreement =
+      static_cast<double>(agree) / static_cast<double>(n_known);
+  stats.known_to_known = median(known_nn);
+  stats.unknown_to_known = median(unknown_nn);
+  return stats;
+}
+
+void run_dataset(const data::DatasetBundle& bundle, std::size_t max_known,
+                 std::size_t max_unknown, ConsoleTable& table) {
+  // Subsample for the O(N^2) embedding.
+  ml::StandardScaler scaler;
+  const Matrix train_x = scaler.fit_transform(bundle.train.X);
+  const Matrix unknown_x = scaler.transform(bundle.unknown.X);
+
+  Rng rng(17);
+  const auto known_idx = rng.sample_without_replacement(
+      train_x.rows(), std::min(max_known, train_x.rows()));
+  const auto unknown_idx = rng.sample_without_replacement(
+      unknown_x.rows(), std::min(max_unknown, unknown_x.rows()));
+
+  Matrix stacked;
+  std::vector<int> labels;
+  std::vector<std::string> roles;
+  for (std::size_t i : known_idx) {
+    stacked.push_row(train_x.row(i));
+    labels.push_back(bundle.train.y[i]);
+    roles.push_back(bundle.train.y[i] == 1 ? "malware" : "benign");
+  }
+  for (std::size_t i : unknown_idx) {
+    stacked.push_row(unknown_x.row(i));
+    labels.push_back(2);
+    roles.push_back("unknown");
+  }
+
+  tsne::TsneParams params;
+  params.perplexity = 30.0;
+  params.n_iterations = 400;
+  params.seed = 5;
+  const auto result = tsne::tsne_embed(stacked, params);
+
+  const auto stats = analyse(result.embedding, labels, known_idx.size());
+  table.add_row({bundle.name, std::to_string(stacked.rows()),
+                 ConsoleTable::fmt(result.kl_divergence, 3),
+                 ConsoleTable::fmt(stats.knn_label_agreement, 3),
+                 ConsoleTable::fmt(stats.known_to_known, 3),
+                 ConsoleTable::fmt(stats.unknown_to_known, 3),
+                 ConsoleTable::fmt(
+                     stats.unknown_to_known / stats.known_to_known, 2)});
+
+  std::ostringstream csv;
+  csv << "x,y,role\n";
+  for (std::size_t i = 0; i < result.embedding.rows(); ++i) {
+    csv << result.embedding(i, 0) << ',' << result.embedding(i, 1) << ','
+        << roles[i] << '\n';
+  }
+  const std::string path =
+      "bench_results/fig8_tsne_" + bundle.name + ".csv";
+  write_text_file(path, csv.str());
+  std::cout << "[embedding written to " << path << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = hmd::bench::parse_bench_args(argc, argv);
+
+  hmd::bench::print_header(
+      "Fig. 8 — t-SNE of the training latent space + unknown data",
+      "agreement: 1-NN label purity of known points (1.0 = disjoint "
+      "classes);\nU/K ratio: unknown-to-known NN distance over known-to-known"
+      " (>1 = unknowns OOD)");
+
+  hmd::ConsoleTable table({"Dataset", "points", "KL", "1NN-agreement",
+                           "knownNN", "unknownNN", "U/K ratio"});
+  run_dataset(hmd::bench::dvfs_bundle(options), 900, 284, table);
+  run_dataset(hmd::bench::hpc_bundle(options), 900, 300, table);
+  std::cout << table;
+  std::cout << "(paper: DVFS classes disjoint + unknowns far from training "
+               "data;\n HPC classes overlapping + unknowns inside the "
+               "overlap region)\n";
+  hmd::write_text_file("bench_results/fig8_tsne_summary.csv", table.to_csv());
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation A4 (google-benchmark): the runtime cost of trustworthiness.
+//
+// The paper positions the estimator as an *online* component with "minor
+// modifications to the standard pipeline"; this bench quantifies that
+// claim: per-sample detection latency of the conventional detector vs the
+// trusted detector across ensemble sizes, plus the cost of the surrounding
+// pipeline stages (SoC simulation and feature extraction).
+
+#include <benchmark/benchmark.h>
+
+#include "core/hmd.h"
+#include "core/uncertainty.h"
+#include "datasets/dvfs_dataset.h"
+#include "features/dvfs_features.h"
+#include "features/hpc_features.h"
+#include "sim/app_profiles.h"
+#include "sim/soc.h"
+
+namespace {
+
+using namespace hmd;
+
+/// Small shared DVFS bundle (built once; benchmarks time inference only).
+const data::DatasetBundle& bundle() {
+  static const data::DatasetBundle instance = [] {
+    data::DvfsDatasetConfig config;
+    config.n_train = 420;
+    config.n_test = 140;
+    config.n_unknown = 60;
+    return data::build_dvfs_dataset(config);
+  }();
+  return instance;
+}
+
+core::HmdConfig config_for(int members) {
+  core::HmdConfig config;
+  config.n_members = members;
+  config.n_threads = 0;
+  config.seed = 1;
+  return config;
+}
+
+void BM_UntrustedDetect(benchmark::State& state) {
+  core::UntrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  std::size_t i = 0;
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.detect(x.row(i++ % x.rows())));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UntrustedDetect)->Arg(100);
+
+void BM_TrustedDetect(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  std::size_t i = 0;
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.detect(x.row(i++ % x.rows())));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrustedDetect)->Arg(5)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_UncertaintyEstimateOnly(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  std::size_t i = 0;
+  const auto& x = bundle().unknown.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.estimate(x.row(i++ % x.rows())));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UncertaintyEstimateOnly)->Arg(20)->Arg(100);
+
+void BM_EnsembleFit(benchmark::State& state) {
+  for (auto _ : state) {
+    core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+    hmd.fit(bundle().train);
+    benchmark::DoNotOptimize(hmd);
+  }
+}
+BENCHMARK(BM_EnsembleFit)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SocSimOneSecond(benchmark::State& state) {
+  sim::SocSim soc;
+  const auto profile = sim::dvfs_benign_apps()[0];
+  Rng rng(3);
+  for (auto _ : state) {
+    sim::Workload run = profile.sample(rng);
+    while (run.total_duration_ms() < 1000.0) {
+      const auto more = profile.sample(rng);
+      run.phases.insert(run.phases.end(), more.phases.begin(),
+                        more.phases.end());
+    }
+    benchmark::DoNotOptimize(soc.run(run, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SocSimOneSecond)->Unit(benchmark::kMillisecond);
+
+void BM_DvfsFeaturize(benchmark::State& state) {
+  sim::SocSim soc;
+  Rng rng(4);
+  const auto trace = soc.run(sim::dvfs_benign_apps()[1].sample(rng), rng);
+  const features::DvfsFeaturizer featurizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.features(trace));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DvfsFeaturize);
+
+void BM_HpcFeaturize(benchmark::State& state) {
+  sim::SocSim soc;
+  Rng rng(5);
+  const auto trace = soc.run(sim::dvfs_benign_apps()[1].sample(rng), rng);
+  const features::HpcFeaturizer featurizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.features(trace.hpc_windows.front()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HpcFeaturize);
+
+}  // namespace
+
+BENCHMARK_MAIN();
