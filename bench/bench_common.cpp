@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "common/error.h"
@@ -21,19 +22,23 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     };
     if (arg.rfind("--scale=", 0) == 0) {
       options.scale = std::stod(value_of("--scale="));
-      HMD_REQUIRE(options.scale > 0.0 && options.scale <= 1.0,
-                  "--scale must lie in (0, 1]");
+      HMD_REQUIRE(options.scale > 0.0 && options.scale <= 16.0,
+                  "--scale must lie in (0, 16]");
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.dvfs_seed = std::stoull(value_of("--seed="));
       options.hpc_seed = options.dvfs_seed + 6;
     } else if (arg.rfind("--members=", 0) == 0) {
       options.n_members = std::stoi(value_of("--members="));
       HMD_REQUIRE(options.n_members >= 1, "--members must be >= 1");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.n_threads = std::stoi(value_of("--threads="));
+      HMD_REQUIRE(options.n_threads >= 0,
+                  "--threads must be >= 0 (0 = all cores)");
     } else if (arg == "--no-cache") {
       options.use_cache = false;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "flags: --scale=<0..1> --seed=<n> --members=<n> "
-                   "--no-cache\n";
+      std::cout << "flags: --scale=<f in (0,16]> --seed=<n> --members=<n> "
+                   "--threads=<n, 0 = all cores> --no-cache\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -51,21 +56,43 @@ std::size_t scaled(std::size_t count, double scale) {
               static_cast<double>(count) * scale)));
 }
 
+}  // namespace
+
 std::string cache_stem(const BenchOptions& options, const std::string& name,
                        std::uint64_t seed) {
+  // Encode the scale at 1e-6 resolution: scales that truncate to the same
+  // per-mille value (e.g. 1.0005 vs 1.0009, or any pair above 1 that a
+  // coarser cast would merge) still get distinct stems.
   std::ostringstream os;
   os << options.cache_dir << "/" << name << "_s" << seed << "_x"
-     << static_cast<int>(options.scale * 1000.0);
+     << std::llround(options.scale * 1e6);
   return os.str();
+}
+
+namespace {
+
+/// Load a cached bundle, degrading a corrupt file (e.g. truncated by an
+/// interrupted earlier run) to "absent" so the caller regenerates it.
+std::optional<data::DatasetBundle> try_load_cached(const std::string& name,
+                                                   const std::string& stem) {
+  if (!data::bundle_exists(stem)) return std::nullopt;
+  try {
+    std::cerr << "[bench] loading cached " << name << " bundle from " << stem
+              << "\n";
+    return data::load_bundle(name, stem);
+  } catch (const IoError& error) {
+    std::cerr << "[bench] discarding unreadable cache (" << error.what()
+              << ")\n";
+    return std::nullopt;
+  }
 }
 
 }  // namespace
 
 data::DatasetBundle dvfs_bundle(const BenchOptions& options) {
   const std::string stem = cache_stem(options, "dvfs", options.dvfs_seed);
-  if (options.use_cache && data::bundle_exists(stem)) {
-    std::cerr << "[bench] loading cached DVFS bundle from " << stem << "\n";
-    return data::load_bundle("DVFS", stem);
+  if (options.use_cache) {
+    if (auto cached = try_load_cached("DVFS", stem)) return *std::move(cached);
   }
   std::cerr << "[bench] generating DVFS bundle (scale=" << options.scale
             << ") ...\n";
@@ -81,9 +108,8 @@ data::DatasetBundle dvfs_bundle(const BenchOptions& options) {
 
 data::DatasetBundle hpc_bundle(const BenchOptions& options) {
   const std::string stem = cache_stem(options, "hpc", options.hpc_seed);
-  if (options.use_cache && data::bundle_exists(stem)) {
-    std::cerr << "[bench] loading cached HPC bundle from " << stem << "\n";
-    return data::load_bundle("HPC", stem);
+  if (options.use_cache) {
+    if (auto cached = try_load_cached("HPC", stem)) return *std::move(cached);
   }
   std::cerr << "[bench] generating HPC bundle (scale=" << options.scale
             << ") ...\n";

@@ -3,14 +3,18 @@
 //
 // Every bench binary regenerates one table or figure of the paper. They all
 // consume the same two dataset bundles (Table I), which are expensive to
-// simulate, so the first bench to run materialises them into an on-disk CSV
-// cache (./dataset_cache relative to the working directory) and later
-// benches just load the cache.
+// simulate, so the first bench to run materialises them into an on-disk
+// versioned binary cache (./dataset_cache/<stem>.hmdb relative to the
+// working directory, see datasets/io.h) and later benches just load it.
+// Stale or mismatched cache files are regenerated, never misread.
 //
 // Common flags (parsed by parse_bench_args):
-//   --scale=<f>    scale Table I sample counts by f (default 1.0)
+//   --scale=<f>    scale Table I sample counts by f in (0, 16]; > 1 scales
+//                  *up* for throughput stress runs (default 1.0)
 //   --seed=<n>     dataset generation seed override
 //   --members=<n>  ensemble size M (default 100)
+//   --threads=<n>  worker threads for fit and batched inference
+//                  (0 = all cores, the default)
 //   --no-cache     force regeneration, do not touch the cache
 
 #include <string>
@@ -37,6 +41,12 @@ struct BenchOptions {
 
 /// Parse argv into BenchOptions; unknown flags abort with a usage message.
 BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Cache-file stem for a dataset at the options' scale. Seed and scale are
+/// both encoded (scale at 1e-6 resolution), so distinct configurations —
+/// including scales above 1 — never collide on the same cache file.
+std::string cache_stem(const BenchOptions& options, const std::string& name,
+                       std::uint64_t seed);
 
 /// Load (or build + cache) the DVFS bundle at the requested scale.
 data::DatasetBundle dvfs_bundle(const BenchOptions& options);

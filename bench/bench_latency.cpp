@@ -3,14 +3,30 @@
 // The paper positions the estimator as an *online* component with "minor
 // modifications to the standard pipeline"; this bench quantifies that
 // claim: per-sample detection latency of the conventional detector vs the
-// trusted detector across ensemble sizes, plus the cost of the surrounding
-// pipeline stages (SoC simulation and feature extraction).
+// trusted detector across ensemble sizes, batched throughput through the
+// flat struct-of-arrays engine, the seed's pointer-chasing reference path
+// for comparison, and the cost of the surrounding pipeline stages (SoC
+// simulation and feature extraction).
+//
+// After the google-benchmark suite runs, main() self-times the per-sample
+// vs batched inference paths and the CSV vs binary bundle cache and writes
+// a machine-readable BENCH_latency.json summary into the working
+// directory, so the perf trajectory is tracked PR-over-PR.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flat_forest.h"
 #include "core/hmd.h"
 #include "core/uncertainty.h"
 #include "datasets/dvfs_dataset.h"
+#include "datasets/io.h"
 #include "features/dvfs_features.h"
 #include "features/hpc_features.h"
 #include "sim/app_profiles.h"
@@ -63,6 +79,62 @@ void BM_TrustedDetect(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TrustedDetect)->Arg(5)->Arg(20)->Arg(50)->Arg(100);
+
+/// The seed's per-sample path: pointer-chasing member-by-member queries
+/// through the reference ml::Bagging ensemble (what detect() cost before
+/// the flat engine existed).
+void BM_TrustedDetectReference(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const core::UncertaintyEstimator reference(
+      core::EnsembleView::of(hmd.ensemble()));
+  const int members = static_cast<int>(state.range(0));
+  std::size_t i = 0;
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    const auto stats = reference.reference_stats(x.row(i++ % x.rows()));
+    benchmark::DoNotOptimize(core::uncertainty_score(
+        core::UncertaintyMode::kVoteEntropy, stats, members, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrustedDetectReference)->Arg(20)->Arg(100);
+
+void BM_UntrustedDetectBatch(benchmark::State& state) {
+  core::UntrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.detect_batch(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.rows()));
+}
+BENCHMARK(BM_UntrustedDetectBatch)->Arg(20)->Arg(100);
+
+void BM_TrustedDetectBatch(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.detect_batch(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.rows()));
+}
+BENCHMARK(BM_TrustedDetectBatch)->Arg(20)->Arg(100);
+
+void BM_TrustedEstimateBatch(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().unknown.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.estimate_batch(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.rows()));
+}
+BENCHMARK(BM_TrustedEstimateBatch)->Arg(20)->Arg(100);
 
 void BM_UncertaintyEstimateOnly(benchmark::State& state) {
   core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
@@ -126,6 +198,168 @@ void BM_HpcFeaturize(benchmark::State& state) {
 }
 BENCHMARK(BM_HpcFeaturize);
 
+// ---------------------------------------------------------------------------
+// BENCH_latency.json summary: self-timed throughput of the per-sample vs
+// batched inference paths and of the CSV vs binary bundle cache.
+
+/// Items/sec of `call` (which processes items_per_call items), run for at
+/// least min_seconds after one warm-up call.
+template <typename F>
+double items_per_sec(std::size_t items_per_call, F&& call,
+                     double min_seconds = 0.4) {
+  using clock = std::chrono::steady_clock;
+  call();  // warm-up
+  std::size_t calls = 0;
+  double elapsed = 0.0;
+  const auto start = clock::now();
+  do {
+    call();
+    ++calls;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(calls * items_per_call) / elapsed;
+}
+
+/// Wall-clock milliseconds of one call.
+template <typename F>
+double time_ms(F&& call) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  call();
+  return std::chrono::duration<double, std::milli>(clock::now() - start)
+      .count();
+}
+
+struct ThroughputRow {
+  int members = 0;
+  double per_sample_flat = 0.0;       ///< detect() items/sec, flat engine
+  double per_sample_reference = 0.0;  ///< seed pointer-path items/sec
+  double batch = 0.0;                 ///< detect_batch() items/sec
+  double estimate_batch = 0.0;        ///< estimate_batch() items/sec
+};
+
+ThroughputRow measure_throughput(int members) {
+  core::TrustedHmd hmd(config_for(members));
+  hmd.fit(bundle().train);
+  const core::UncertaintyEstimator reference(
+      core::EnsembleView::of(hmd.ensemble()));
+  const auto& x = bundle().test.X;
+
+  ThroughputRow row;
+  row.members = members;
+  row.per_sample_flat = items_per_sec(x.rows(), [&] {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      benchmark::DoNotOptimize(hmd.detect(x.row(r)));
+    }
+  });
+  row.per_sample_reference = items_per_sec(x.rows(), [&] {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto stats = reference.reference_stats(x.row(r));
+      benchmark::DoNotOptimize(core::uncertainty_score(
+          core::UncertaintyMode::kVoteEntropy, stats, members, nullptr));
+    }
+  });
+  row.batch = items_per_sec(
+      x.rows(), [&] { benchmark::DoNotOptimize(hmd.detect_batch(x)); });
+  row.estimate_batch = items_per_sec(
+      x.rows(), [&] { benchmark::DoNotOptimize(hmd.estimate_batch(x)); });
+  return row;
+}
+
+struct CacheTiming {
+  double csv_save_ms = 0.0;
+  double csv_load_ms = 0.0;
+  double binary_save_ms = 0.0;
+  double binary_load_ms = 0.0;
+};
+
+CacheTiming measure_cache(const std::string& stem) {
+  CacheTiming timing;
+  const auto& probe = bundle();
+  timing.csv_save_ms = time_ms([&] { data::save_bundle_csv(probe, stem); });
+  timing.csv_load_ms = time_ms([&] {
+    benchmark::DoNotOptimize(data::load_bundle_csv("probe", stem));
+  });
+  timing.binary_save_ms = time_ms([&] { data::save_bundle(probe, stem); });
+  timing.binary_load_ms = time_ms([&] {
+    benchmark::DoNotOptimize(data::load_bundle("probe", stem));
+  });
+  return timing;
+}
+
+void write_summary_json(const char* path) {
+  std::fprintf(stderr, "\n[bench_latency] measuring summary for %s ...\n",
+               path);
+  std::vector<ThroughputRow> rows;
+  for (const int members : {20, 100}) {
+    rows.push_back(measure_throughput(members));
+  }
+
+  const std::string probe_dir = "bench_results";
+  std::filesystem::create_directories(probe_dir);
+  const std::string stem = probe_dir + "/latency_cache_probe";
+  const CacheTiming cache = measure_cache(stem);
+  for (const char* suffix :
+       {".hmdb", "_train.csv", "_test.csv", "_unknown.csv"}) {
+    std::filesystem::remove(stem + suffix);
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench_latency] cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_latency\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"n_train\": %zu,\n  \"n_test\": %zu,\n",
+               bundle().train.size(), bundle().test.size());
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"throughput_items_per_sec\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"members\": %d, \"per_sample_flat\": %.1f, "
+                 "\"per_sample_reference\": %.1f, \"detect_batch\": %.1f, "
+                 "\"estimate_batch\": %.1f,\n     "
+                 "\"speedup_batch_vs_seed_per_sample\": %.2f, "
+                 "\"speedup_batch_vs_flat_per_sample\": %.2f}%s\n",
+                 row.members, row.per_sample_flat, row.per_sample_reference,
+                 row.batch, row.estimate_batch,
+                 row.batch / row.per_sample_reference,
+                 row.batch / row.per_sample_flat,
+                 i + 1 < rows.size() ? "," : "");
+    std::fprintf(stderr,
+                 "[bench_latency] M=%d detect items/sec: reference "
+                 "(seed per-sample) %.0f | flat per-sample %.0f | "
+                 "flat batch %.0f (%.1fx vs seed, %.1fx vs flat)\n",
+                 row.members, row.per_sample_reference, row.per_sample_flat,
+                 row.batch, row.batch / row.per_sample_reference,
+                 row.batch / row.per_sample_flat);
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"bundle_cache_ms\": {\"csv_save\": %.3f, \"csv_load\": "
+               "%.3f, \"binary_save\": %.3f, \"binary_load\": %.3f, "
+               "\"load_speedup_binary_vs_csv\": %.1f}\n",
+               cache.csv_save_ms, cache.csv_load_ms, cache.binary_save_ms,
+               cache.binary_load_ms, cache.csv_load_ms / cache.binary_load_ms);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::fprintf(stderr,
+               "[bench_latency] bundle cache load: csv %.3f ms -> binary "
+               "%.3f ms (%.1fx)\n[bench_latency] summary written to %s\n",
+               cache.csv_load_ms, cache.binary_load_ms,
+               cache.csv_load_ms / cache.binary_load_ms, path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_summary_json("BENCH_latency.json");
+  return 0;
+}

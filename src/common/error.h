@@ -1,0 +1,36 @@
+#pragma once
+// Error types and the HMD_REQUIRE precondition macro used across the
+// library. Preconditions throw (rather than abort) so that callers — tests
+// in particular — can assert on rejected inputs.
+
+#include <stdexcept>
+#include <string>
+
+namespace hmd {
+
+/// Base class of every error thrown by the library.
+class HmdError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public HmdError {
+ public:
+  using HmdError::HmdError;
+};
+
+/// An on-disk artefact (dataset cache, results file) is unusable.
+class IoError : public HmdError {
+ public:
+  using HmdError::HmdError;
+};
+
+}  // namespace hmd
+
+#define HMD_REQUIRE(condition, message)                      \
+  do {                                                       \
+    if (!(condition)) {                                      \
+      throw ::hmd::InvalidArgument(std::string(message));    \
+    }                                                        \
+  } while (false)

@@ -1,0 +1,105 @@
+#pragma once
+// Dense row-major matrix. One contiguous buffer — the library's struct-of-
+// arrays layouts (flat forest arena, binary dataset cache) rely on rows
+// being adjacent so a whole dataset can be read or traversed with a single
+// streaming pass.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace hmd {
+
+/// Non-owning view of one matrix row (or any contiguous double span).
+class RowView {
+ public:
+  RowView() = default;
+  RowView(const double* data, std::size_t size) : data_(data), size_(size) {}
+
+  double operator[](std::size_t i) const { return data_[i]; }
+  std::size_t size() const { return size_; }
+  const double* data() const { return data_; }
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  RowView row(std::size_t r) const {
+    return RowView(data_.data() + r * cols_, cols_);
+  }
+  const double* row_ptr(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+
+  /// Append a row; the first push fixes the column count.
+  void push_row(const std::vector<double>& values) {
+    push_row(RowView(values.data(), values.size()));
+  }
+  void push_row(RowView values) {
+    if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+    HMD_REQUIRE(values.size() == cols_, "push_row: column count mismatch");
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+  }
+
+  void reserve_rows(std::size_t n) { data_.reserve(n * cols_); }
+
+  /// The contiguous row-major buffer (rows * cols doubles).
+  const std::vector<double>& storage() const { return data_; }
+  std::vector<double>& storage() { return data_; }
+
+  /// Rebuild from a raw buffer (used by the binary dataset cache).
+  static Matrix from_storage(std::size_t rows, std::size_t cols,
+                             std::vector<double> data) {
+    HMD_REQUIRE(data.size() == rows * cols, "from_storage: size mismatch");
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Squared euclidean distance between two equal-length views.
+inline double squared_distance(RowView a, RowView b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace hmd

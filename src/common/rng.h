@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic random number generation. The library never uses
+// std::random_device or the std distributions: every stream is seeded
+// explicitly and the transforms are implemented here, so identical seeds
+// give identical datasets and ensembles on every platform and compiler.
+
+#include <cstdint>
+#include <vector>
+
+namespace hmd {
+
+/// xoshiro256++ with a splitmix64 seeding sequence.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 1);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit draw.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Standard normal via Box-Muller (deterministic, cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// k distinct indices drawn uniformly from [0, n), in draw order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace hmd

@@ -1,0 +1,54 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmd {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  HMD_REQUIRE(!sorted.empty(), "quantile_sorted: empty input");
+  HMD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile_sorted: q out of [0, 1]");
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(position));
+  const auto hi = static_cast<std::size_t>(std::ceil(position));
+  const double t = position - static_cast<double>(lo);
+  return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::vector<double> values) {
+  HMD_REQUIRE(!values.empty(), "median: empty input");
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, 0.5);
+}
+
+double mean(const std::vector<double>& values) {
+  HMD_REQUIRE(!values.empty(), "mean: empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+BoxplotStats boxplot_stats(std::vector<double> values) {
+  HMD_REQUIRE(!values.empty(), "boxplot_stats: empty input");
+  BoxplotStats stats;
+  stats.n = values.size();
+  stats.mean = mean(values);
+  std::sort(values.begin(), values.end());
+  stats.median = quantile_sorted(values, 0.5);
+  stats.q1 = quantile_sorted(values, 0.25);
+  stats.q3 = quantile_sorted(values, 0.75);
+  const double iqr = stats.q3 - stats.q1;
+  const double lo_fence = stats.q1 - 1.5 * iqr;
+  const double hi_fence = stats.q3 + 1.5 * iqr;
+  stats.whisker_low = stats.q3;
+  stats.whisker_high = stats.q1;
+  for (double v : values) {
+    if (v >= lo_fence && v < stats.whisker_low) stats.whisker_low = v;
+    if (v <= hi_fence && v > stats.whisker_high) stats.whisker_high = v;
+  }
+  return stats;
+}
+
+}  // namespace hmd

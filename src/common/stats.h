@@ -1,0 +1,33 @@
+#pragma once
+// Order statistics shared by the bench harness and the evaluation layer.
+
+#include <cstddef>
+#include <vector>
+
+namespace hmd {
+
+/// Five-number summary plus mean, in the Tukey boxplot convention
+/// (whiskers at the farthest points within 1.5 IQR of the quartiles).
+struct BoxplotStats {
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  double mean = 0.0;
+  std::size_t n = 0;
+};
+
+/// Median of the values (by value: sorts a copy). Requires non-empty input.
+double median(std::vector<double> values);
+
+/// Linear-interpolation quantile of sorted values, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Mean of the values. Requires non-empty input.
+double mean(const std::vector<double>& values);
+
+/// Full boxplot summary. Requires non-empty input.
+BoxplotStats boxplot_stats(std::vector<double> values);
+
+}  // namespace hmd

@@ -1,0 +1,85 @@
+#include "common/table.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hmd {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HMD_REQUIRE(!headers_.empty(), "ConsoleTable: need at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  HMD_REQUIRE(cells.size() == headers_.size(),
+              "ConsoleTable::add_row: cell count != header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string ConsoleTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ConsoleTable& t) {
+  std::vector<std::size_t> widths(t.headers_.size());
+  for (std::size_t c = 0; c < t.headers_.size(); ++c) {
+    widths[c] = t.headers_[c].size();
+    for (const auto& row : t.rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(t.headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : t.rows_) emit(row);
+  return os;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("write_text_file: cannot open " + path);
+  out << content;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("read_text_file: cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace hmd

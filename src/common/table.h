@@ -1,0 +1,39 @@
+#pragma once
+// Console table rendering and small text-file helpers for the bench layer.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmd {
+
+/// Fixed-header table rendered with aligned columns; also exports CSV.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t n_rows() const { return rows_.size(); }
+
+  /// CSV rendering (headers + rows, comma-separated, '\n' line ends).
+  std::string to_csv() const;
+
+  /// Fixed-precision float formatting ("0.693").
+  static std::string fmt(double value, int precision = 3);
+
+  friend std::ostream& operator<<(std::ostream& os, const ConsoleTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write `content` to `path`, creating parent directories as needed.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Read a whole file; throws IoError if missing.
+std::string read_text_file(const std::string& path);
+
+}  // namespace hmd

@@ -1,0 +1,214 @@
+#include "core/flat_forest.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+#include "core/thread_pool.h"
+#include "core/uncertainty.h"
+#include "ml/decision_tree.h"
+
+namespace hmd::core {
+
+FlatForest FlatForest::compile(const ml::Bagging& ensemble) {
+  HMD_REQUIRE(ensemble.fitted(), "FlatForest::compile: ensemble not fitted");
+  FlatForest flat;
+  // Every member must be a decision tree; otherwise signal "not
+  // compilable" and let the caller use the reference path.
+  std::vector<const ml::DecisionTree*> trees;
+  trees.reserve(ensemble.n_members());
+  for (std::size_t m = 0; m < ensemble.n_members(); ++m) {
+    const auto* tree =
+        dynamic_cast<const ml::DecisionTree*>(&ensemble.member(m));
+    if (tree == nullptr) return flat;
+    trees.push_back(tree);
+  }
+
+  std::size_t total_nodes = 0;
+  for (const auto* tree : trees) total_nodes += tree->nodes().size();
+  flat.nodes_.reserve(total_nodes);
+  flat.leaf_entropy_.reserve(total_nodes);
+  flat.roots_.reserve(trees.size());
+
+  auto append_slot = [&flat]() {
+    flat.nodes_.emplace_back();
+    flat.leaf_entropy_.push_back(0.0);
+    return static_cast<std::int32_t>(flat.nodes_.size() - 1);
+  };
+
+  for (std::size_t m = 0; m < trees.size(); ++m) {
+    const auto& nodes = trees[m]->nodes();
+    const auto& feature_map = ensemble.feature_map(m);
+    flat.roots_.push_back(append_slot());
+
+    // Breadth-first re-layout; both children of a node are allocated
+    // together so right == left + 1 everywhere.
+    std::deque<std::pair<std::int32_t, std::int32_t>> frontier;
+    frontier.emplace_back(0, flat.roots_.back());
+    while (!frontier.empty()) {
+      const auto [src, dst] = frontier.front();
+      frontier.pop_front();
+      const auto& node = nodes[static_cast<std::size_t>(src)];
+      if (node.feature < 0) {
+        flat.nodes_[dst].feature = -1;
+        flat.nodes_[dst].threshold = node.p1;
+        flat.leaf_entropy_[dst] = binary_entropy(node.p1);
+        continue;
+      }
+      const std::int32_t global_feature =
+          feature_map.empty()
+              ? node.feature
+              : feature_map[static_cast<std::size_t>(node.feature)];
+      flat.nodes_[dst].feature = global_feature;
+      flat.nodes_[dst].threshold = node.threshold;
+      const std::int32_t left = append_slot();
+      append_slot();  // right child at left + 1
+      flat.nodes_[dst].left = left;
+      frontier.emplace_back(node.left, left);
+      frontier.emplace_back(node.right, left + 1);
+    }
+  }
+
+  // Specialise depth <= 1 trees into the stump table.
+  flat.stumps_.resize(flat.roots_.size());
+  flat.is_stump_.assign(flat.roots_.size(), 0);
+  for (std::size_t m = 0; m < flat.roots_.size(); ++m) {
+    const std::int32_t root = flat.roots_[m];
+    const Node& node = flat.nodes_[static_cast<std::size_t>(root)];
+    Stump& stump = flat.stumps_[m];
+    if (node.feature < 0) {  // single-leaf tree: select is constant
+      stump.feature = 0;
+      stump.threshold = std::numeric_limits<double>::infinity();
+      stump.p_lo = stump.p_hi = node.threshold;
+      stump.e_lo = stump.e_hi =
+          flat.leaf_entropy_[static_cast<std::size_t>(root)];
+      stump.v_lo = stump.v_hi = node.threshold > 0.5 ? 1.0 : 0.0;
+      flat.is_stump_[m] = 1;
+      ++flat.n_stumps_;
+      continue;
+    }
+    const Node& lo = flat.nodes_[static_cast<std::size_t>(node.left)];
+    const Node& hi = flat.nodes_[static_cast<std::size_t>(node.left) + 1];
+    if (lo.feature < 0 && hi.feature < 0) {
+      stump.feature = node.feature;
+      stump.threshold = node.threshold;
+      stump.p_lo = lo.threshold;
+      stump.p_hi = hi.threshold;
+      stump.e_lo = flat.leaf_entropy_[static_cast<std::size_t>(node.left)];
+      stump.e_hi =
+          flat.leaf_entropy_[static_cast<std::size_t>(node.left) + 1];
+      stump.v_lo = lo.threshold > 0.5 ? 1.0 : 0.0;
+      stump.v_hi = hi.threshold > 0.5 ? 1.0 : 0.0;
+      flat.is_stump_[m] = 1;
+      ++flat.n_stumps_;
+    }
+  }
+  return flat;
+}
+
+EnsembleStats FlatForest::stats_one(RowView x) const {
+  HMD_REQUIRE(compiled(), "FlatForest: not compiled");
+  EnsembleStats stats;
+  const Node* nodes = nodes_.data();
+  const double* entropy = leaf_entropy_.data();
+  for (const std::int32_t root : roots_) {
+    std::int32_t i = root;
+    Node node = nodes[i];
+    while (node.feature >= 0) {
+      // !(x <= t), not (x > t): matches the reference tree's `<= ? left :
+      // right` step for NaN inputs too (both send NaN right).
+      i = node.left + !(x[static_cast<std::size_t>(node.feature)] <=
+                        node.threshold);
+      node = nodes[i];
+    }
+    const double p1 = node.threshold;
+    stats.votes1 += p1 > 0.5;
+    stats.sum_p1 += p1;
+    stats.sum_entropy += entropy[i];
+  }
+  return stats;
+}
+
+void FlatForest::tile_kernel(const Matrix& x, std::size_t row_begin,
+                             std::size_t row_end, EnsembleStats* out) const {
+  const Node* nodes = nodes_.data();
+  const double* entropy = leaf_entropy_.data();
+  const std::size_t tile = row_end - row_begin;
+  const std::size_t cols = x.cols();
+
+  // Column-major copy of the tile: xt[c * tile + r] = x(row_begin + r, c).
+  // Unit-stride feature loads for the stump loop below.
+  std::vector<double> xt(cols * tile);
+  for (std::size_t r = 0; r < tile; ++r) {
+    const double* row = x.row_ptr(row_begin + r);
+    for (std::size_t c = 0; c < cols; ++c) xt[c * tile + r] = row[c];
+  }
+
+  // Struct-of-arrays accumulators so both loops below vectorise. Votes are
+  // accumulated as 0.0/1.0 doubles (exact for any ensemble size) to keep
+  // the stump loop free of int/FP domain crossings.
+  std::vector<double> votes(tile, 0.0);
+  std::vector<double> sum_p1(tile, 0.0);
+  std::vector<double> sum_entropy(tile, 0.0);
+
+  // Tree-major: each tree's nodes stay hot while the whole tile reuses
+  // them. Trees run in ascending member order and lanes are rows, so
+  // per-sample accumulation order matches stats_one and the reference
+  // path exactly.
+  for (std::size_t m = 0; m < roots_.size(); ++m) {
+    if (is_stump_[m]) {
+      const Stump stump = stumps_[m];
+      const double* column =
+          xt.data() + static_cast<std::size_t>(stump.feature) * tile;
+      for (std::size_t r = 0; r < tile; ++r) {
+        const bool hi = !(column[r] <= stump.threshold);  // NaN goes hi
+        votes[r] += hi ? stump.v_hi : stump.v_lo;
+        sum_p1[r] += hi ? stump.p_hi : stump.p_lo;
+        sum_entropy[r] += hi ? stump.e_hi : stump.e_lo;
+      }
+      continue;
+    }
+    const std::int32_t root = roots_[m];
+    for (std::size_t r = 0; r < tile; ++r) {
+      std::int32_t i = root;
+      Node node = nodes[i];
+      while (node.feature >= 0) {
+        i = node.left +
+            !(xt[static_cast<std::size_t>(node.feature) * tile + r] <=
+              node.threshold);
+        node = nodes[i];
+      }
+      const double p1 = node.threshold;
+      votes[r] += p1 > 0.5 ? 1.0 : 0.0;
+      sum_p1[r] += p1;
+      sum_entropy[r] += entropy[i];
+    }
+  }
+
+  for (std::size_t r = 0; r < tile; ++r) {
+    out[r].votes1 = static_cast<std::int32_t>(votes[r]);
+    out[r].sum_p1 = sum_p1[r];
+    out[r].sum_entropy = sum_entropy[r];
+  }
+}
+
+void FlatForest::stats_batch(const Matrix& x, ThreadPool* pool,
+                             std::vector<EnsembleStats>& out) const {
+  HMD_REQUIRE(compiled(), "FlatForest: not compiled");
+  out.assign(x.rows(), EnsembleStats{});
+  const std::size_t n_tiles = (x.rows() + kTileRows - 1) / kTileRows;
+  auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+      const std::size_t row_begin = t * kTileRows;
+      const std::size_t row_end = std::min(x.rows(), row_begin + kTileRows);
+      tile_kernel(x, row_begin, row_end, out.data() + row_begin);
+    }
+  };
+  if (pool != nullptr && n_tiles > 1) {
+    pool->parallel_for(n_tiles, run_tiles);
+  } else {
+    run_tiles(0, n_tiles);
+  }
+}
+
+}  // namespace hmd::core

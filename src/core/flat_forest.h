@@ -1,0 +1,122 @@
+#pragma once
+// Flattened struct-of-arrays inference engine for tree ensembles.
+//
+// After fit(), every member tree of the bagging ensemble is re-packed into
+// one contiguous arena of 16-byte node records (threshold double + packed
+// feature / left-child indices), trees concatenated back to back. The
+// traversal-hot fields of a node span a single 16-byte load, and children
+// are allocated adjacently, so a traversal step is branch-free:
+//
+//   next = node.left + !(x[node.feature] <= node.threshold)
+//
+// (negated <=, so NaN descends right exactly like the reference tree).
+//
+// Leaves store the member's P(class 1) in the threshold slot and its
+// precomputed binary entropy in a cold side array (touched once per walk),
+// which makes the batched estimate path a pure accumulate — no log() on
+// the hot path.
+//
+// predict_batch traverses *tree-major over sample tiles*: for each tile of
+// rows, every tree is walked for all rows in the tile before moving to the
+// next tree, so a tree's nodes stay cache-resident while they are reused.
+// The tile is transposed to column-major scratch first, which turns the
+// per-tree row loop into unit-stride loads. Trees of depth <= 1 (common on
+// well-separated data, where most members are decision stumps) are
+// compiled into a dedicated stump table evaluated as a branchless select —
+// one compare + two blends per row that the compiler vectorises across
+// rows. Lanes are rows, trees still run in ascending member order, so
+// per-sample accumulation order is untouched and results stay bit-
+// identical to the reference path.
+// Tiles are distributed over a thread pool; each tile writes a disjoint
+// output range, so results are deterministic for any worker count.
+//
+// The engine is an exact re-encoding of the pointer trees: predictions,
+// vote counts and accumulated probabilities are bit-identical to the
+// reference ml::Bagging path (asserted by the parity test suite).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "ml/bagging.h"
+
+namespace hmd::core {
+
+class ThreadPool;
+
+/// Per-sample ensemble sufficient statistics. sum_p1 and sum_entropy are
+/// accumulated in member order (member 0 first), matching the reference
+/// implementation exactly.
+struct EnsembleStats {
+  std::int32_t votes1 = 0;     ///< members voting class 1
+  double sum_p1 = 0.0;         ///< sum of member P(class 1)
+  double sum_entropy = 0.0;    ///< sum of member leaf entropies H(p_m)
+};
+
+class FlatForest {
+ public:
+  /// Re-pack a trained tree ensemble. Returns an engine with n_trees() == 0
+  /// when any member is not a DecisionTree (linear ensembles fall back to
+  /// the reference path).
+  static FlatForest compile(const ml::Bagging& ensemble);
+
+  bool compiled() const { return !roots_.empty(); }
+  std::size_t n_trees() const { return roots_.size(); }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t n_stumps() const { return n_stumps_; }
+  std::size_t arena_bytes() const {
+    return nodes_.size() * (sizeof(Node) + sizeof(double)) +
+           stumps_.size() * sizeof(Stump);
+  }
+
+  /// Ensemble statistics for a single sample (member-order accumulation).
+  EnsembleStats stats_one(RowView x) const;
+
+  /// Batched statistics: tree-major over `kTileRows` sample tiles,
+  /// parallelised over `pool` when given. `out` is resized to x.rows().
+  void stats_batch(const Matrix& x, ThreadPool* pool,
+                   std::vector<EnsembleStats>& out) const;
+
+  static constexpr std::size_t kTileRows = 256;
+
+ private:
+  /// One arena slot. feature < 0 marks a leaf; for leaves, threshold holds
+  /// P(class 1). For internal nodes, left is the arena index of the left
+  /// child and the right child sits at left + 1.
+  struct alignas(16) Node {
+    double threshold = 0.0;
+    std::int32_t feature = -1;
+    std::int32_t left = -1;
+  };
+
+  /// Specialised encoding of a depth <= 1 tree: evaluated branchlessly as
+  ///   hi = !(x[feature] <= threshold);  p1 = hi ? p_hi : p_lo
+  /// A pure-leaf tree uses threshold = +inf so the select always takes the
+  /// lo branch. Payloads are the exact leaf doubles from the arena, so the
+  /// stump path is bit-identical to walking the same tree. The leaf's vote
+  /// (p1 > 0.5) is precomputed as 0.0/1.0 so the whole evaluation — select,
+  /// vote, and the three accumulates — stays in the FP domain and
+  /// vectorises as one compare plus three blends and adds per row.
+  struct Stump {
+    std::int32_t feature = 0;
+    double threshold = 0.0;
+    double p_lo = 0.0, p_hi = 0.0;
+    double e_lo = 0.0, e_hi = 0.0;
+    double v_lo = 0.0, v_hi = 0.0;
+  };
+
+  void tile_kernel(const Matrix& x, std::size_t row_begin,
+                   std::size_t row_end, EnsembleStats* out) const;
+
+  std::vector<Node> nodes_;
+  /// Per-slot binary entropy of the leaf P(class 1); meaningful (and read)
+  /// only at leaves, kept out of the Node record to halve traversal reads.
+  std::vector<double> leaf_entropy_;
+  std::vector<std::int32_t> roots_;
+  /// stumps_[m] is valid iff is_stump_[m]; general trees walk the arena.
+  std::vector<Stump> stumps_;
+  std::vector<std::uint8_t> is_stump_;
+  std::size_t n_stumps_ = 0;
+};
+
+}  // namespace hmd::core

@@ -1,0 +1,197 @@
+#include "core/hmd.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hmd::core {
+
+std::string model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRandomForest: return "RF";
+    case ModelKind::kBaggedLogistic: return "LR";
+    case ModelKind::kBaggedSvm: return "SVM";
+  }
+  throw InvalidArgument("model_kind_name: bad kind");
+}
+
+UntrustedHmd::UntrustedHmd(HmdConfig config) : config_(std::move(config)) {
+  HMD_REQUIRE(config_.n_members >= 1, "HmdConfig: n_members must be >= 1");
+  HMD_REQUIRE(config_.entropy_threshold >= 0.0,
+              "HmdConfig: entropy_threshold must be >= 0");
+}
+
+ml::ClassifierFactory UntrustedHmd::member_factory() const {
+  switch (config_.model) {
+    case ModelKind::kRandomForest: {
+      ml::DecisionTreeParams tree;
+      tree.max_features = 0;  // sqrt per-split subsampling
+      tree.min_samples_leaf = std::max(1, config_.tree_min_samples_leaf);
+      tree.max_depth = config_.tree_max_depth;
+      return [tree]() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::DecisionTree>(tree);
+      };
+    }
+    case ModelKind::kBaggedLogistic:
+      return []() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::LogisticRegression>();
+      };
+    case ModelKind::kBaggedSvm:
+      return []() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::LinearSvm>();
+      };
+  }
+  throw InvalidArgument("UntrustedHmd: bad model kind");
+}
+
+void UntrustedHmd::fit(const ml::Dataset& train) {
+  HMD_REQUIRE(train.size() > 1, "UntrustedHmd::fit: need >= 2 samples");
+  pool_ = std::make_unique<ThreadPool>(config_.n_threads);
+
+  // Linear members need standardised inputs; trees see raw features so
+  // the flat engine can traverse dataset rows in place.
+  scale_inputs_ = config_.model != ModelKind::kRandomForest;
+  const Matrix* fit_x = &train.X;
+  Matrix scaled;
+  if (scale_inputs_) {
+    scaled = scaler_.fit_transform(train.X);
+    fit_x = &scaled;
+  }
+
+  ml::BaggingParams params;
+  params.n_members = config_.n_members;
+  params.seed = config_.seed;
+  params.n_threads = config_.n_threads;
+  ensemble_ = std::make_unique<ml::Bagging>(member_factory(), params);
+  ensemble_->fit(*fit_x, train.y, pool_.get());
+
+  flat_ = FlatForest::compile(*ensemble_);
+  vote_lut_ = VoteEntropyTable(config_.n_members);
+}
+
+const ml::Bagging& UntrustedHmd::ensemble() const {
+  HMD_REQUIRE(fitted(), "UntrustedHmd: not fitted");
+  return *ensemble_;
+}
+
+bool UntrustedHmd::converged() const {
+  return converged_fraction() >= 0.999;
+}
+
+double UntrustedHmd::converged_fraction() const {
+  HMD_REQUIRE(fitted(), "UntrustedHmd: not fitted");
+  return ensemble_->converged_fraction();
+}
+
+EnsembleStats UntrustedHmd::stats_one(RowView x) const {
+  HMD_REQUIRE(fitted(), "UntrustedHmd: detect before fit");
+  if (flat_.compiled()) return flat_.stats_one(x);
+  std::vector<double> scaled;
+  if (scale_inputs_) {
+    scaler_.transform_row(x, scaled);
+    x = RowView(scaled.data(), scaled.size());
+  }
+  std::vector<double> probabilities;
+  ensemble_->member_probabilities(x, probabilities);
+  return accumulate_stats(probabilities);
+}
+
+void UntrustedHmd::stats_batch(const Matrix& x,
+                               std::vector<EnsembleStats>& out) const {
+  HMD_REQUIRE(fitted(), "UntrustedHmd: detect before fit");
+  if (flat_.compiled()) {
+    flat_.stats_batch(x, pool_.get(), out);
+    return;
+  }
+  const Matrix scaled = scale_inputs_ ? scaler_.transform(x) : Matrix();
+  const Matrix& input = scale_inputs_ ? scaled : x;
+  out.assign(input.rows(), EnsembleStats{});
+  auto body = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> probabilities;
+    for (std::size_t r = begin; r < end; ++r) {
+      ensemble_->member_probabilities(input.row(r), probabilities);
+      out[r] = accumulate_stats(probabilities);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(input.rows(), body);
+  } else {
+    body(0, input.rows());
+  }
+}
+
+Detection UntrustedHmd::detection_from_stats(
+    const EnsembleStats& stats) const {
+  Detection detection;
+  const int m = config_.n_members;
+  detection.prediction = 2 * stats.votes1 > m ? 1 : 0;
+  const double p1 = stats.sum_p1 / static_cast<double>(m);
+  detection.confidence = detection.prediction == 1 ? p1 : 1.0 - p1;
+  detection.score = uncertainty_score(config_.mode, stats, m, &vote_lut_);
+  detection.trusted = detection.score <= config_.entropy_threshold;
+  return detection;
+}
+
+Detection UntrustedHmd::detect(RowView x) const {
+  return detection_from_stats(stats_one(x));
+}
+
+std::vector<Detection> UntrustedHmd::detect_batch(const Matrix& x) const {
+  std::vector<EnsembleStats> stats;
+  stats_batch(x, stats);
+  std::vector<Detection> out;
+  out.reserve(stats.size());
+  for (const auto& s : stats) out.push_back(detection_from_stats(s));
+  return out;
+}
+
+Estimate TrustedHmd::estimate_from_stats(const EnsembleStats& stats) const {
+  Estimate estimate;
+  const int m = config_.n_members;
+  estimate.prediction = 2 * stats.votes1 > m ? 1 : 0;
+  estimate.votes_malware = stats.votes1;
+  estimate.vote_entropy =
+      uncertainty_score(UncertaintyMode::kVoteEntropy, stats, m, vote_lut());
+  estimate.soft_entropy =
+      uncertainty_score(UncertaintyMode::kSoftEntropy, stats, m, nullptr);
+  estimate.expected_entropy = uncertainty_score(
+      UncertaintyMode::kExpectedEntropy, stats, m, nullptr);
+  estimate.mutual_information = uncertainty_score(
+      UncertaintyMode::kMutualInformation, stats, m, nullptr);
+  estimate.variation_ratio = uncertainty_score(
+      UncertaintyMode::kVariationRatio, stats, m, nullptr);
+  estimate.max_probability = uncertainty_score(
+      UncertaintyMode::kMaxProbability, stats, m, nullptr);
+  estimate.score =
+      uncertainty_score(config_.mode, stats, m, vote_lut());
+  estimate.trusted = estimate.score <= config_.entropy_threshold;
+  return estimate;
+}
+
+Estimate TrustedHmd::estimate(RowView x) const {
+  return estimate_from_stats(stats_one(x));
+}
+
+std::vector<Estimate> TrustedHmd::estimate_batch(const Matrix& x) const {
+  std::vector<EnsembleStats> stats;
+  stats_batch(x, stats);
+  std::vector<Estimate> out;
+  out.reserve(stats.size());
+  for (const auto& s : stats) out.push_back(estimate_from_stats(s));
+  return out;
+}
+
+std::vector<double> TrustedHmd::scores(const Matrix& x,
+                                       UncertaintyMode mode) const {
+  std::vector<EnsembleStats> stats;
+  stats_batch(x, stats);
+  std::vector<double> out;
+  out.reserve(stats.size());
+  for (const auto& s : stats) {
+    out.push_back(
+        uncertainty_score(mode, s, config_.n_members, vote_lut()));
+  }
+  return out;
+}
+
+}  // namespace hmd::core

@@ -1,0 +1,144 @@
+#pragma once
+// The hardware malware detectors of the paper.
+//
+//   UntrustedHmd — the conventional detector: an ensemble used as a plain
+//                  classifier emitting a label and a point-estimate
+//                  confidence (no uncertainty awareness).
+//   TrustedHmd   — the same ensemble plus the online uncertainty
+//                  estimator: estimate() returns the full family of
+//                  ensemble scores and flags whether the prediction is
+//                  trustworthy under the configured threshold.
+//
+// Inference spine: after fit(), tree ensembles are compiled into the flat
+// struct-of-arrays engine (core/flat_forest.h); detect()/estimate() and
+// the batched detect_batch()/estimate_batch() all route through it. The
+// batch entry points traverse tree-major over sample tiles and are
+// parallelised by a reusable thread pool sized by HmdConfig::n_threads.
+// Linear ensembles (LR / SVM bagging) use the reference member path.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flat_forest.h"
+#include "core/thread_pool.h"
+#include "core/uncertainty.h"
+#include "ml/bagging.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/linear.h"
+#include "ml/preprocessing.h"
+
+namespace hmd::core {
+
+enum class ModelKind {
+  kRandomForest,    ///< bagged CART trees with per-split feature sampling
+  kBaggedLogistic,  ///< bagged logistic regression
+  kBaggedSvm,       ///< bagged linear SVM with Platt-scaled confidences
+};
+
+/// Short display name: "RF", "LR", "SVM".
+std::string model_kind_name(ModelKind kind);
+
+struct HmdConfig {
+  ModelKind model = ModelKind::kRandomForest;
+  int n_members = 100;
+  /// Worker threads for fit and batched inference; <= 0 = all cores.
+  int n_threads = 0;
+  /// Reject predictions whose uncertainty score exceeds this.
+  double entropy_threshold = 0.40;
+  UncertaintyMode mode = UncertaintyMode::kVoteEntropy;
+  std::uint64_t seed = 0;
+  /// Leaf-size floor of the member trees (>1 keeps empirical leaf
+  /// distributions, required by the soft decomposition).
+  int tree_min_samples_leaf = 1;
+  int tree_max_depth = 0;  ///< 0 = unlimited
+};
+
+/// Output of the conventional detector.
+struct Detection {
+  int prediction = 0;        ///< 0 = benign, 1 = malware
+  double confidence = 0.0;   ///< mean member probability of the prediction
+  double score = 0.0;        ///< uncertainty score under config.mode
+  bool trusted = false;      ///< score <= config.entropy_threshold
+};
+
+/// Output of the online uncertainty estimator.
+struct Estimate {
+  int prediction = 0;
+  int votes_malware = 0;
+  double vote_entropy = 0.0;
+  double soft_entropy = 0.0;
+  double expected_entropy = 0.0;
+  double mutual_information = 0.0;
+  double variation_ratio = 0.0;
+  double max_probability = 0.0;
+  double score = 0.0;  ///< the score selected by config.mode
+  bool trusted = false;
+};
+
+class UntrustedHmd {
+ public:
+  explicit UntrustedHmd(HmdConfig config);
+  virtual ~UntrustedHmd() = default;
+
+  /// Train the ensemble (and compile the flat engine for tree models).
+  void fit(const ml::Dataset& train);
+
+  /// Classify one sample.
+  Detection detect(RowView x) const;
+
+  /// Classify every row of x through the batched tile path.
+  std::vector<Detection> detect_batch(const Matrix& x) const;
+
+  /// True when every member's training converged.
+  bool converged() const;
+  double converged_fraction() const;
+
+  const HmdConfig& config() const { return config_; }
+  /// The trained reference ensemble (parity tests compare against it).
+  const ml::Bagging& ensemble() const;
+  /// Is inference routed through the flat struct-of-arrays engine?
+  bool uses_flat_engine() const { return flat_.compiled(); }
+  const FlatForest& flat_forest() const { return flat_; }
+
+ protected:
+  EnsembleStats stats_one(RowView x) const;
+  void stats_batch(const Matrix& x, std::vector<EnsembleStats>& out) const;
+  Detection detection_from_stats(const EnsembleStats& stats) const;
+  bool fitted() const { return ensemble_ != nullptr && ensemble_->fitted(); }
+  int n_members() const { return config_.n_members; }
+  const VoteEntropyTable* vote_lut() const { return &vote_lut_; }
+
+  HmdConfig config_;
+
+ private:
+  ml::ClassifierFactory member_factory() const;
+
+  std::unique_ptr<ml::Bagging> ensemble_;
+  std::unique_ptr<ThreadPool> pool_;
+  FlatForest flat_;
+  VoteEntropyTable vote_lut_;
+  ml::StandardScaler scaler_;
+  bool scale_inputs_ = false;
+};
+
+class TrustedHmd : public UntrustedHmd {
+ public:
+  explicit TrustedHmd(HmdConfig config) : UntrustedHmd(std::move(config)) {}
+
+  /// Full uncertainty estimate for one sample.
+  Estimate estimate(RowView x) const;
+
+  /// Batched estimates for every row of x.
+  std::vector<Estimate> estimate_batch(const Matrix& x) const;
+
+  /// Uncertainty scores for every row under an explicit mode (batched).
+  std::vector<double> scores(const Matrix& x, UncertaintyMode mode) const;
+
+ private:
+  Estimate estimate_from_stats(const EnsembleStats& stats) const;
+};
+
+}  // namespace hmd::core

@@ -1,0 +1,53 @@
+#pragma once
+// Small reusable thread pool. One pool is created per ensemble (sized by
+// HmdConfig::n_threads) and reused across fit and every batched inference
+// call, so the hot path never pays thread start-up costs. parallel_for
+// hands out contiguous index ranges: callers that write disjoint ranges
+// get deterministic results regardless of the worker count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmd::core {
+
+class ThreadPool {
+ public:
+  /// n_threads <= 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run body(begin, end) over [0, n) split into contiguous chunks, one
+  /// per worker plus the calling thread; blocks until all chunks finish.
+  /// Exceptions from the body are rethrown on the calling thread.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> body;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace hmd::core

@@ -1,0 +1,27 @@
+#include "datasets/dataset_bundle.h"
+
+#include <set>
+
+namespace hmd::data {
+
+namespace {
+
+TaxonomyRow summarise(const std::string& dataset, const std::string& split,
+                      const ml::Dataset& d) {
+  TaxonomyRow row;
+  row.dataset = dataset;
+  row.split = split;
+  row.n_samples = d.size();
+  for (const int label : d.y) (label == 1 ? row.n_malware : row.n_benign)++;
+  row.n_apps = std::set<int>(d.app_ids.begin(), d.app_ids.end()).size();
+  return row;
+}
+
+}  // namespace
+
+std::vector<TaxonomyRow> DatasetBundle::taxonomy() const {
+  return {summarise(name, "train", train), summarise(name, "test", test),
+          summarise(name, "unknown", unknown)};
+}
+
+}  // namespace hmd::data

@@ -1,0 +1,32 @@
+#pragma once
+// A dataset bundle is the paper's Table I unit: train / test (known) /
+// unknown (zero-day) splits of one sensor modality.
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace hmd::data {
+
+/// One row of the Table I taxonomy.
+struct TaxonomyRow {
+  std::string dataset;
+  std::string split;
+  std::size_t n_samples = 0;
+  std::size_t n_benign = 0;
+  std::size_t n_malware = 0;
+  std::size_t n_apps = 0;
+};
+
+struct DatasetBundle {
+  std::string name;  ///< "DVFS" or "HPC"
+  ml::Dataset train;
+  ml::Dataset test;     ///< known inputs (same apps as training)
+  ml::Dataset unknown;  ///< zero-day inputs (apps unseen in training)
+
+  /// Per-split sample/class/app counts, in train/test/unknown order.
+  std::vector<TaxonomyRow> taxonomy() const;
+};
+
+}  // namespace hmd::data

@@ -1,0 +1,67 @@
+#include "datasets/dvfs_dataset.h"
+
+#include "common/error.h"
+#include "features/dvfs_features.h"
+#include "sim/app_profiles.h"
+
+namespace hmd::data {
+
+namespace {
+
+/// Alternate benign/malware apps so every split is roughly class-balanced
+/// and every roster member contributes.
+ml::Dataset build_known_split(const sim::SocSim& soc, std::size_t n,
+                              double workload_ms, Rng& rng) {
+  const auto& benign = sim::dvfs_benign_apps();
+  const auto& malware = sim::dvfs_malware_apps();
+  const features::DvfsFeaturizer featurizer;
+  ml::Dataset split;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_malware = i % 2 == 1;
+    const auto& roster = is_malware ? malware : benign;
+    const std::size_t app = (i / 2) % roster.size();
+    const auto trace = soc.run(roster[app].sample(rng, workload_ms), rng);
+    split.X.push_row(featurizer.features(trace));
+    split.y.push_back(roster[app].label);
+    split.app_ids.push_back(static_cast<int>(
+        is_malware ? benign.size() + app : app));
+  }
+  return split;
+}
+
+ml::Dataset build_unknown_split(const sim::SocSim& soc, std::size_t n,
+                                double workload_ms, Rng& rng) {
+  const auto& unknown = sim::dvfs_unknown_apps();
+  const auto base_id = static_cast<int>(sim::dvfs_benign_apps().size() +
+                                        sim::dvfs_malware_apps().size());
+  const features::DvfsFeaturizer featurizer;
+  ml::Dataset split;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t app = i % unknown.size();
+    const auto trace = soc.run(unknown[app].sample(rng, workload_ms), rng);
+    split.X.push_row(featurizer.features(trace));
+    split.y.push_back(unknown[app].label);
+    split.app_ids.push_back(base_id + static_cast<int>(app));
+  }
+  return split;
+}
+
+}  // namespace
+
+DatasetBundle build_dvfs_dataset(const DvfsDatasetConfig& config) {
+  HMD_REQUIRE(config.n_train > 0 && config.n_test > 0 && config.n_unknown > 0,
+              "build_dvfs_dataset: empty split requested");
+  const sim::SocSim soc(config.soc);
+  Rng rng(config.seed);
+  DatasetBundle bundle;
+  bundle.name = "DVFS";
+  bundle.train =
+      build_known_split(soc, config.n_train, config.workload_ms, rng);
+  bundle.test =
+      build_known_split(soc, config.n_test, config.workload_ms, rng);
+  bundle.unknown =
+      build_unknown_split(soc, config.n_unknown, config.workload_ms, rng);
+  return bundle;
+}
+
+}  // namespace hmd::data

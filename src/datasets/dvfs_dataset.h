@@ -1,0 +1,24 @@
+#pragma once
+// The DVFS dataset of Table I: governor state traces of benign and
+// malware applications, featurized per sample. The unknown split holds
+// zero-day malware families absent from training.
+
+#include <cstdint>
+
+#include "datasets/dataset_bundle.h"
+#include "sim/soc.h"
+
+namespace hmd::data {
+
+struct DvfsDatasetConfig {
+  std::uint64_t seed = 7;
+  std::size_t n_train = 2100;
+  std::size_t n_test = 700;
+  std::size_t n_unknown = 284;
+  double workload_ms = 400.0;  ///< simulated duration per sample
+  sim::SocParams soc;
+};
+
+DatasetBundle build_dvfs_dataset(const DvfsDatasetConfig& config);
+
+}  // namespace hmd::data

@@ -1,0 +1,50 @@
+#include "datasets/hpc_dataset.h"
+
+#include "common/error.h"
+#include "features/hpc_features.h"
+#include "sim/app_profiles.h"
+
+namespace hmd::data {
+
+namespace {
+
+ml::Dataset build_split(const std::vector<sim::HpcAppProfile>& benign,
+                        const std::vector<sim::HpcAppProfile>& malware,
+                        int app_id_base, std::size_t n, Rng& rng) {
+  const features::HpcFeaturizer featurizer;
+  ml::Dataset split;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_malware = !malware.empty() && i % 2 == 1;
+    const auto& roster =
+        is_malware ? malware : benign;
+    const std::size_t app = (i / 2) % roster.size();
+    split.X.push_row(featurizer.features(roster[app].sample_window(rng)));
+    split.y.push_back(roster[app].label);
+    split.app_ids.push_back(app_id_base +
+                            static_cast<int>(is_malware
+                                                 ? benign.size() + app
+                                                 : app));
+  }
+  return split;
+}
+
+}  // namespace
+
+DatasetBundle build_hpc_dataset(const HpcDatasetConfig& config) {
+  HMD_REQUIRE(config.n_train > 0 && config.n_test > 0 && config.n_unknown > 0,
+              "build_hpc_dataset: empty split requested");
+  Rng rng(config.seed);
+  DatasetBundle bundle;
+  bundle.name = "HPC";
+  const auto& benign = sim::hpc_benign_apps();
+  const auto& malware = sim::hpc_malware_apps();
+  const auto& unknown = sim::hpc_unknown_apps();
+  bundle.train = build_split(benign, malware, 0, config.n_train, rng);
+  bundle.test = build_split(benign, malware, 0, config.n_test, rng);
+  // Unknown split: zero-day roster only, all malware.
+  const auto base = static_cast<int>(benign.size() + malware.size());
+  bundle.unknown = build_split(unknown, {}, base, config.n_unknown, rng);
+  return bundle;
+}
+
+}  // namespace hmd::data

@@ -1,0 +1,22 @@
+#pragma once
+// The HPC dataset of Table I: hardware-counter windows of benign and
+// malware applications. Unlike the DVFS dataset the class distributions
+// overlap, and the unknown (zero-day) split is drawn from inside the
+// overlap region.
+
+#include <cstdint>
+
+#include "datasets/dataset_bundle.h"
+
+namespace hmd::data {
+
+struct HpcDatasetConfig {
+  std::uint64_t seed = 13;
+  std::size_t n_train = 44605;
+  std::size_t n_test = 6372;
+  std::size_t n_unknown = 12727;
+};
+
+DatasetBundle build_hpc_dataset(const HpcDatasetConfig& config);
+
+}  // namespace hmd::data

@@ -1,0 +1,234 @@
+#include "datasets/io.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+static_assert(std::endian::native == std::endian::little,
+              "the binary bundle cache assumes a little-endian host");
+
+namespace hmd::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'M', 'D', 'B'};
+
+void ensure_parent(const std::string& path) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path());
+  }
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value, const std::string& path) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError("load_bundle: truncated cache " + path);
+}
+
+void write_split(std::ofstream& out, const ml::Dataset& split) {
+  const auto rows = static_cast<std::uint64_t>(split.X.rows());
+  const auto cols = static_cast<std::uint64_t>(split.X.cols());
+  const std::uint8_t has_apps = split.app_ids.empty() ? 0 : 1;
+  write_pod(out, rows);
+  write_pod(out, cols);
+  write_pod(out, has_apps);
+  out.write(reinterpret_cast<const char*>(split.X.storage().data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  std::vector<std::int32_t> labels(split.y.begin(), split.y.end());
+  out.write(reinterpret_cast<const char*>(labels.data()),
+            static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+  if (has_apps) {
+    std::vector<std::int32_t> apps(split.app_ids.begin(),
+                                   split.app_ids.end());
+    out.write(reinterpret_cast<const char*>(apps.data()),
+              static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+  }
+}
+
+ml::Dataset read_split(std::ifstream& in, const std::string& path) {
+  std::uint64_t rows = 0, cols = 0;
+  std::uint8_t has_apps = 0;
+  read_pod(in, rows, path);
+  read_pod(in, cols, path);
+  read_pod(in, has_apps, path);
+  ml::Dataset split;
+  std::vector<double> storage(rows * cols);
+  in.read(reinterpret_cast<char*>(storage.data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  if (!in) throw IoError("load_bundle: truncated cache " + path);
+  split.X = Matrix::from_storage(rows, cols, std::move(storage));
+  std::vector<std::int32_t> labels(rows);
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+  if (!in) throw IoError("load_bundle: truncated cache " + path);
+  split.y.assign(labels.begin(), labels.end());
+  if (has_apps) {
+    std::vector<std::int32_t> apps(rows);
+    in.read(reinterpret_cast<char*>(apps.data()),
+            static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+    if (!in) throw IoError("load_bundle: truncated cache " + path);
+    split.app_ids.assign(apps.begin(), apps.end());
+  }
+  return split;
+}
+
+bool header_matches(std::ifstream& in) {
+  char magic[4] = {};
+  std::uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+         version == kBundleFormatVersion;
+}
+
+}  // namespace
+
+std::string bundle_path(const std::string& stem) { return stem + ".hmdb"; }
+
+bool bundle_exists(const std::string& stem) {
+  std::ifstream in(bundle_path(stem), std::ios::binary);
+  if (!in) return false;
+  return header_matches(in);
+}
+
+void save_bundle(const DatasetBundle& bundle, const std::string& stem) {
+  const std::string path = bundle_path(stem);
+  ensure_parent(path);
+  // Write to a sibling temp file and rename into place, so an interrupted
+  // save never leaves a half-written cache under the real name.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("save_bundle: cannot open " + tmp_path);
+    out.write(kMagic, sizeof(kMagic));
+    write_pod(out, kBundleFormatVersion);
+    const std::uint32_t n_splits = 3;
+    write_pod(out, n_splits);
+    write_split(out, bundle.train);
+    write_split(out, bundle.test);
+    write_split(out, bundle.unknown);
+    if (!out) throw IoError("save_bundle: write failed for " + tmp_path);
+  }
+  std::filesystem::rename(tmp_path, path);
+}
+
+DatasetBundle load_bundle(const std::string& name, const std::string& stem) {
+  const std::string path = bundle_path(stem);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("load_bundle: missing cache " + path);
+  if (!header_matches(in)) {
+    throw IoError("load_bundle: bad magic or version mismatch in " + path +
+                  " (expected v" + std::to_string(kBundleFormatVersion) +
+                  ")");
+  }
+  std::uint32_t n_splits = 0;
+  read_pod(in, n_splits, path);
+  if (n_splits != 3) {
+    throw IoError("load_bundle: unexpected split count in " + path);
+  }
+  DatasetBundle bundle;
+  bundle.name = name;
+  bundle.train = read_split(in, path);
+  bundle.test = read_split(in, path);
+  bundle.unknown = read_split(in, path);
+  return bundle;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy v1 CSV format.
+
+namespace {
+
+const char* const kSplitSuffix[3] = {"_train.csv", "_test.csv",
+                                     "_unknown.csv"};
+
+void write_split_csv(const ml::Dataset& split, const std::string& path) {
+  ensure_parent(path);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("save_bundle_csv: cannot open " + path);
+  out.precision(17);
+  out << split.X.rows() << ',' << split.X.cols() << '\n';
+  for (std::size_t r = 0; r < split.X.rows(); ++r) {
+    const double* row = split.X.row_ptr(r);
+    for (std::size_t c = 0; c < split.X.cols(); ++c) out << row[c] << ',';
+    out << split.y[r] << ','
+        << (split.app_ids.empty() ? -1 : split.app_ids[r]) << '\n';
+  }
+}
+
+ml::Dataset read_split_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("load_bundle_csv: missing " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw IoError("load_bundle_csv: empty file " + path);
+  }
+  std::size_t rows = 0, cols = 0;
+  {
+    std::istringstream header(line);
+    char comma = 0;
+    header >> rows >> comma >> cols;
+  }
+  ml::Dataset split;
+  split.X = Matrix(rows, cols);
+  split.y.resize(rows);
+  split.app_ids.resize(rows);
+  bool any_app = false;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (!std::getline(in, line)) {
+      throw IoError("load_bundle_csv: truncated " + path);
+    }
+    std::istringstream cells(line);
+    std::string cell;
+    double* row = split.X.row_ptr(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!std::getline(cells, cell, ',')) {
+        throw IoError("load_bundle_csv: short row in " + path);
+      }
+      row[c] = std::stod(cell);
+    }
+    if (!std::getline(cells, cell, ',')) {
+      throw IoError("load_bundle_csv: missing label in " + path);
+    }
+    split.y[r] = std::stoi(cell);
+    if (std::getline(cells, cell, ',')) {
+      split.app_ids[r] = std::stoi(cell);
+      any_app = any_app || split.app_ids[r] >= 0;
+    }
+  }
+  if (!any_app) split.app_ids.clear();
+  return split;
+}
+
+}  // namespace
+
+void save_bundle_csv(const DatasetBundle& bundle, const std::string& stem) {
+  const ml::Dataset* splits[3] = {&bundle.train, &bundle.test,
+                                  &bundle.unknown};
+  for (int i = 0; i < 3; ++i) {
+    write_split_csv(*splits[i], stem + kSplitSuffix[i]);
+  }
+}
+
+DatasetBundle load_bundle_csv(const std::string& name,
+                              const std::string& stem) {
+  DatasetBundle bundle;
+  bundle.name = name;
+  bundle.train = read_split_csv(stem + kSplitSuffix[0]);
+  bundle.test = read_split_csv(stem + kSplitSuffix[1]);
+  bundle.unknown = read_split_csv(stem + kSplitSuffix[2]);
+  return bundle;
+}
+
+}  // namespace hmd::data

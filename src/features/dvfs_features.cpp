@@ -1,0 +1,55 @@
+#include "features/dvfs_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmd::features {
+
+std::size_t DvfsFeaturizer::n_features(int n_states) {
+  return static_cast<std::size_t>(n_states) + 6;
+}
+
+std::vector<double> DvfsFeaturizer::features(const sim::Trace& trace) const {
+  HMD_REQUIRE(!trace.states.empty() && trace.n_states >= 2,
+              "DvfsFeaturizer: empty trace");
+  const auto n = static_cast<double>(trace.states.size());
+  const int top = trace.n_states - 1;
+
+  std::vector<double> residency(static_cast<std::size_t>(trace.n_states),
+                                0.0);
+  double sum = 0.0, sum_sq = 0.0, transitions = 0.0;
+  std::size_t longest_top_run = 0, current_top_run = 0;
+  for (std::size_t i = 0; i < trace.states.size(); ++i) {
+    const int state = trace.states[i];
+    residency[static_cast<std::size_t>(state)] += 1.0;
+    const double s = static_cast<double>(state) / static_cast<double>(top);
+    sum += s;
+    sum_sq += s * s;
+    if (i > 0) transitions += trace.states[i] != trace.states[i - 1];
+    if (state == top) {
+      ++current_top_run;
+      longest_top_run = std::max(longest_top_run, current_top_run);
+    } else {
+      current_top_run = 0;
+    }
+  }
+  for (auto& r : residency) r /= n;
+
+  const double mean_state = sum / n;
+  const double var_state = std::max(0.0, sum_sq / n - mean_state * mean_state);
+
+  std::vector<double> out;
+  out.reserve(n_features(trace.n_states));
+  out.insert(out.end(), residency.begin(), residency.end());
+  out.push_back(mean_state);
+  out.push_back(std::sqrt(var_state));
+  out.push_back(transitions / n);
+  out.push_back(residency.back());                       // top-state share
+  out.push_back(residency.front());                      // idle-state share
+  out.push_back(static_cast<double>(longest_top_run) / n);
+  return out;
+}
+
+}  // namespace hmd::features

@@ -1,0 +1,22 @@
+#pragma once
+// Feature extraction from DVFS state traces. The detector observes only
+// the governor's state sequence (the paper's DVFS sensor): residency
+// histogram plus temporal statistics of the state signal.
+
+#include <vector>
+
+#include "sim/soc.h"
+
+namespace hmd::features {
+
+class DvfsFeaturizer {
+ public:
+  /// Number of emitted features for a trace with `n_states` states.
+  static std::size_t n_features(int n_states);
+
+  /// Featurize one trace: per-state residency histogram, normalised mean
+  /// and dispersion, transition statistics and run-length structure.
+  std::vector<double> features(const sim::Trace& trace) const;
+};
+
+}  // namespace hmd::features

@@ -1,0 +1,28 @@
+#include "features/hpc_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmd::features {
+
+std::vector<double> HpcFeaturizer::features(
+    const sim::HpcWindow& window) const {
+  HMD_REQUIRE(window.cycles > 0.0, "HpcFeaturizer: empty window");
+  const double instructions = std::max(window.instructions, 1.0);
+  std::vector<double> out;
+  out.reserve(n_features());
+  out.push_back(window.instructions / window.cycles);  // IPC
+  out.push_back(window.cache_misses /
+                std::max(window.cache_references, 1.0));
+  out.push_back(window.branch_misses / std::max(window.branches, 1.0));
+  out.push_back(window.cache_references / instructions);
+  out.push_back(window.mem_accesses / instructions);
+  out.push_back(window.page_faults / (instructions * 1e-6));
+  out.push_back(std::log(instructions));
+  out.push_back(std::log(std::max(window.mem_accesses, 1.0)));
+  return out;
+}
+
+}  // namespace hmd::features

@@ -1,0 +1,19 @@
+#pragma once
+// Feature extraction from hardware performance counter windows: the
+// derived rates (IPC, miss rates, memory traffic) the HPC-based HMD
+// classifies on.
+
+#include <vector>
+
+#include "sim/soc.h"
+
+namespace hmd::features {
+
+class HpcFeaturizer {
+ public:
+  static std::size_t n_features() { return 8; }
+
+  std::vector<double> features(const sim::HpcWindow& window) const;
+};
+
+}  // namespace hmd::features

@@ -1,0 +1,161 @@
+#include "ml/bagging.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/thread_pool.h"
+
+namespace hmd::ml {
+
+namespace {
+
+/// Decorrelate the per-member streams from consecutive member indices.
+std::uint64_t member_seed(std::uint64_t seed, std::size_t m) {
+  return seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL * (m + 1);
+}
+
+}  // namespace
+
+Bagging::Bagging(ClassifierFactory factory, BaggingParams params)
+    : factory_(std::move(factory)), params_(params) {
+  HMD_REQUIRE(params_.n_members >= 1, "Bagging: n_members must be >= 1");
+  HMD_REQUIRE(params_.sample_fraction > 0.0 && params_.sample_fraction <= 1.0,
+              "Bagging: sample_fraction must lie in (0, 1]");
+  HMD_REQUIRE(params_.feature_fraction > 0.0 &&
+                  params_.feature_fraction <= 1.0,
+              "Bagging: feature_fraction must lie in (0, 1]");
+}
+
+void Bagging::fit(const Matrix& x, const std::vector<int>& y,
+                  core::ThreadPool* pool) {
+  HMD_REQUIRE(x.rows() > 1 && x.rows() == y.size(),
+              "Bagging::fit: bad shapes");
+  n_features_ = x.cols();
+  const auto n_members = static_cast<std::size_t>(params_.n_members);
+  members_.clear();
+  members_.resize(n_members);
+  feature_maps_.assign(n_members, {});
+
+  const auto n_rows = x.rows();
+  const auto n_draw = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::llround(static_cast<double>(n_rows) *
+                          params_.sample_fraction)));
+  const bool subspace = params_.feature_fraction < 1.0;
+  const auto n_cols_sub = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(n_features_) *
+                          params_.feature_fraction)));
+
+  auto fit_member = [&](std::size_t m) {
+    Rng rng(member_seed(params_.seed, m));
+    // Row resample: bootstrap (with replacement) or subagging (without).
+    std::vector<std::size_t> rows;
+    if (params_.bootstrap) {
+      rows.resize(n_draw);
+      for (auto& r : rows) r = rng.uniform_index(n_rows);
+    } else if (n_draw >= n_rows) {
+      rows.resize(n_rows);
+      for (std::size_t r = 0; r < n_rows; ++r) rows[r] = r;
+    } else {
+      rows = rng.sample_without_replacement(n_rows, n_draw);
+    }
+    // Column subspace.
+    std::vector<std::int32_t> columns;
+    if (subspace) {
+      auto drawn = rng.sample_without_replacement(n_features_, n_cols_sub);
+      std::sort(drawn.begin(), drawn.end());
+      columns.assign(drawn.begin(), drawn.end());
+    }
+    const std::size_t width = subspace ? columns.size() : n_features_;
+    Matrix sub_x(rows.size(), width);
+    std::vector<int> sub_y(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double* src = x.row_ptr(rows[i]);
+      double* dst = sub_x.row_ptr(i);
+      if (subspace) {
+        for (std::size_t c = 0; c < width; ++c) {
+          dst[c] = src[columns[c]];
+        }
+      } else {
+        std::copy(src, src + width, dst);
+      }
+      sub_y[i] = y[rows[i]];
+    }
+    auto member = factory_();
+    member->fit(sub_x, sub_y, rng);
+    members_[m] = std::move(member);
+    feature_maps_[m] = std::move(columns);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(n_members, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t m = begin; m < end; ++m) fit_member(m);
+    });
+  } else {
+    core::ThreadPool local(params_.n_threads);
+    local.parallel_for(n_members, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t m = begin; m < end; ++m) fit_member(m);
+    });
+  }
+}
+
+void Bagging::gather(RowView x, std::size_t m,
+                     std::vector<double>& scratch) const {
+  const auto& map = feature_maps_[m];
+  scratch.resize(map.size());
+  for (std::size_t c = 0; c < map.size(); ++c) {
+    scratch[c] = x[static_cast<std::size_t>(map[c])];
+  }
+}
+
+int Bagging::vote_count_one(RowView x) const {
+  HMD_REQUIRE(fitted(), "Bagging: predict before fit");
+  int votes = 0;
+  std::vector<double> scratch;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (feature_maps_[m].empty()) {
+      votes += members_[m]->predict_one(x);
+    } else {
+      gather(x, m, scratch);
+      votes += members_[m]->predict_one(
+          RowView(scratch.data(), scratch.size()));
+    }
+  }
+  return votes;
+}
+
+std::vector<int> Bagging::predict(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  const int majority = static_cast<int>(members_.size() / 2);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = vote_count_one(x.row(r)) > majority ? 1 : 0;
+  }
+  return out;
+}
+
+void Bagging::member_probabilities(RowView x,
+                                   std::vector<double>& out) const {
+  HMD_REQUIRE(fitted(), "Bagging: predict before fit");
+  out.resize(members_.size());
+  std::vector<double> scratch;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (feature_maps_[m].empty()) {
+      out[m] = members_[m]->predict_proba_one(x);
+    } else {
+      gather(x, m, scratch);
+      out[m] = members_[m]->predict_proba_one(
+          RowView(scratch.data(), scratch.size()));
+    }
+  }
+}
+
+double Bagging::converged_fraction() const {
+  HMD_REQUIRE(fitted(), "Bagging: converged_fraction before fit");
+  std::size_t n = 0;
+  for (const auto& member : members_) n += member->converged();
+  return static_cast<double>(n) / static_cast<double>(members_.size());
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,79 @@
+#pragma once
+// Bagging ensemble over an arbitrary base-learner factory. This is the
+// *reference* (pointer-chasing) implementation: member models are owned
+// polymorphically and queried one sample at a time. The flat struct-of-
+// arrays engine in core/flat_forest.h is compiled from a trained Bagging
+// and must agree with it bit-for-bit — the parity tests assert exactly
+// that.
+//
+// Diversity sources (the A2 ablation sweeps these):
+//   bootstrap        — resample n * sample_fraction rows with replacement
+//   subagging        — bootstrap=false draws without replacement
+//   feature subspace — feature_fraction < 1 trains each member on a
+//                      random sorted subset of the columns
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace hmd::core {
+class ThreadPool;
+}  // namespace hmd::core
+
+namespace hmd::ml {
+
+struct BaggingParams {
+  int n_members = 100;
+  std::uint64_t seed = 0;
+  int n_threads = 0;          ///< member-parallel fit; <= 0 = all cores
+  bool bootstrap = true;
+  double sample_fraction = 1.0;
+  double feature_fraction = 1.0;
+};
+
+class Bagging {
+ public:
+  Bagging(ClassifierFactory factory, BaggingParams params);
+
+  /// Train every member on its own resample; members are trained in
+  /// parallel on `pool` when given (falling back to an internal pool
+  /// sized by params.n_threads).
+  void fit(const Matrix& x, const std::vector<int>& y,
+           core::ThreadPool* pool = nullptr);
+
+  /// Majority-vote predictions for every row.
+  std::vector<int> predict(const Matrix& x) const;
+
+  /// Number of members voting class 1 for one sample.
+  int vote_count_one(RowView x) const;
+
+  /// Per-member P(class 1) for one sample, in member order.
+  void member_probabilities(RowView x, std::vector<double>& out) const;
+
+  std::size_t n_members() const { return members_.size(); }
+  const Classifier& member(std::size_t m) const { return *members_[m]; }
+  /// Sorted column subset member m was trained on; empty = all columns.
+  const std::vector<std::int32_t>& feature_map(std::size_t m) const {
+    return feature_maps_[m];
+  }
+  std::size_t n_features() const { return n_features_; }
+  bool fitted() const { return !members_.empty(); }
+
+  /// Fraction of members whose training converged.
+  double converged_fraction() const;
+
+  const BaggingParams& params() const { return params_; }
+
+ private:
+  void gather(RowView x, std::size_t m, std::vector<double>& scratch) const;
+
+  ClassifierFactory factory_;
+  BaggingParams params_;
+  std::vector<std::unique_ptr<Classifier>> members_;
+  std::vector<std::vector<std::int32_t>> feature_maps_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,39 @@
+#pragma once
+// Base-learner interface for the bagging ensemble. Members are binary
+// classifiers exposing a hard prediction and a probability for class 1;
+// the convergence flag feeds the paper's SVM-on-HPC exclusion (Section
+// V.B): an ensemble whose members failed to converge must say so instead
+// of emitting degenerate uncertainty estimates.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace hmd::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the given matrix/labels. `rng` drives any internal
+  /// randomness (per-split feature subsampling, init) so members seeded
+  /// differently diversify.
+  virtual void fit(const Matrix& x, const std::vector<int>& y, Rng& rng) = 0;
+
+  /// Hard class prediction (0 or 1).
+  virtual int predict_one(RowView x) const = 0;
+
+  /// P(class == 1 | x).
+  virtual double predict_proba_one(RowView x) const = 0;
+
+  /// Did training reach its convergence criterion?
+  virtual bool converged() const { return true; }
+};
+
+/// Factory producing fresh, untrained members.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace hmd::ml

@@ -1,0 +1,20 @@
+#pragma once
+// Labelled dataset: a feature matrix, binary labels, and (optionally) the
+// id of the application each sample was collected from — the taxonomy
+// tables report per-split app counts.
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace hmd::ml {
+
+struct Dataset {
+  Matrix X;
+  std::vector<int> y;        ///< 0 = benign, 1 = malware
+  std::vector<int> app_ids;  ///< optional; empty or one entry per row
+
+  std::size_t size() const { return X.rows(); }
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,147 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace hmd::ml {
+
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double impurity = std::numeric_limits<double>::infinity();
+  std::size_t n_left = 0;
+};
+
+double gini_pair(double n1, double n_total) {
+  if (n_total <= 0.0) return 0.0;
+  const double p = n1 / n_total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y,
+                       Rng& rng) {
+  HMD_REQUIRE(x.rows() > 0 && x.rows() == y.size(),
+              "DecisionTree::fit: bad shapes");
+  nodes_.clear();
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(x, y, indices, 0, indices.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end,
+                                 int depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  std::size_t n1 = 0;
+  for (std::size_t i = begin; i < end; ++i) n1 += y[indices[i]] == 1;
+
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].p1 = static_cast<double>(n1) / static_cast<double>(n);
+
+  const bool pure = n1 == 0 || n1 == n;
+  const bool depth_capped = params_.max_depth > 0 && depth >= params_.max_depth;
+  const auto leaf_floor = static_cast<std::size_t>(
+      std::max(1, params_.min_samples_leaf));
+  if (pure || depth_capped || n < 2 * leaf_floor) return node_index;
+
+  // Per-split feature subset.
+  const auto n_features = static_cast<int>(x.cols());
+  int n_candidates = n_features;
+  if (params_.max_features > 0) {
+    n_candidates = std::min(params_.max_features, n_features);
+  } else if (params_.max_features == 0) {
+    n_candidates = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(n_features))));
+  }
+  std::vector<std::size_t> features;
+  if (n_candidates >= n_features) {
+    features.resize(n_features);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = rng.sample_without_replacement(
+        n_features, static_cast<std::size_t>(n_candidates));
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, int>> column(n);
+  for (std::size_t f : features) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = indices[begin + i];
+      column[i] = {x(row, f), y[row]};
+    }
+    std::sort(column.begin(), column.end());
+    double left_n1 = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_n1 += column[i].second;
+      const auto n_left = static_cast<double>(i + 1);
+      const auto n_right = static_cast<double>(n - i - 1);
+      if (i + 1 < leaf_floor || n - i - 1 < leaf_floor) continue;
+      if (column[i].first == column[i + 1].first) continue;
+      const double impurity =
+          (n_left * gini_pair(left_n1, n_left) +
+           n_right * gini_pair(static_cast<double>(n1) - left_n1, n_right)) /
+          static_cast<double>(n);
+      if (impurity < best.impurity) {
+        best.impurity = impurity;
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (column[i].first + column[i + 1].first);
+        best.n_left = i + 1;
+      }
+    }
+  }
+  if (best.feature < 0) return node_index;  // no admissible split
+
+  const auto mid = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return x(row, static_cast<std::size_t>(best.feature)) <=
+               best.threshold;
+      });
+  const auto split =
+      static_cast<std::size_t>(mid - indices.begin());
+  if (split == begin || split == end) return node_index;  // degenerate
+
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  const std::int32_t left =
+      build(x, y, indices, begin, split, depth + 1, rng);
+  nodes_[node_index].left = left;
+  const std::int32_t right =
+      build(x, y, indices, split, end, depth + 1, rng);
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::int32_t DecisionTree::leaf_index(RowView x) const {
+  std::int32_t i = 0;
+  while (nodes_[static_cast<std::size_t>(i)].feature >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(i)];
+    i = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+            ? node.left
+            : node.right;
+  }
+  return i;
+}
+
+int DecisionTree::predict_one(RowView x) const {
+  HMD_REQUIRE(!nodes_.empty(), "DecisionTree: predict before fit");
+  return nodes_[static_cast<std::size_t>(leaf_index(x))].p1 > 0.5 ? 1 : 0;
+}
+
+double DecisionTree::predict_proba_one(RowView x) const {
+  HMD_REQUIRE(!nodes_.empty(), "DecisionTree: predict before fit");
+  return nodes_[static_cast<std::size_t>(leaf_index(x))].p1;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,53 @@
+#pragma once
+// CART decision tree (gini impurity) — the base learner of the random
+// forest ensemble. The node array is exposed read-only so the flat-forest
+// compiler in core/ can re-pack trained trees into its arena layout.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace hmd::ml {
+
+struct DecisionTreeParams {
+  int max_depth = 0;            ///< 0 = grow until pure / leaf floor
+  int min_samples_leaf = 1;     ///< smallest admissible leaf
+  /// Features examined per split: >0 explicit count, 0 = sqrt heuristic
+  /// (random-forest style per-split subsampling), -1 = all features.
+  int max_features = 0;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  /// Binary tree node; children are indices into nodes(). Leaves have
+  /// feature == -1 and carry the empirical P(class 1) of their samples.
+  struct Node {
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double p1 = 0.0;
+  };
+
+  DecisionTree() = default;
+  explicit DecisionTree(const DecisionTreeParams& params) : params_(params) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y, Rng& rng) override;
+  int predict_one(RowView x) const override;
+  double predict_proba_one(RowView x) const override;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const DecisionTreeParams& params() const { return params_; }
+
+ private:
+  std::int32_t build(const Matrix& x, const std::vector<int>& y,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, Rng& rng);
+  std::int32_t leaf_index(RowView x) const;
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace hmd::ml

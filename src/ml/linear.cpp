@@ -1,0 +1,146 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmd::ml {
+
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double dot_row(const std::vector<double>& w, RowView x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) sum += w[i] * x[i];
+  return sum;
+}
+
+}  // namespace
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y,
+                             Rng& rng) {
+  HMD_REQUIRE(x.rows() > 0 && x.rows() == y.size(),
+              "LogisticRegression::fit: bad shapes");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  weights_.assign(d, 0.0);
+  for (auto& w : weights_) w = rng.normal(0.0, 1e-2);
+  bias_ = 0.0;
+  converged_ = false;
+
+  std::vector<double> grad(d);
+  double previous_loss = 1e300;
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    double loss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* row = x.row_ptr(r);
+      double z = bias_;
+      for (std::size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+      const double p = sigmoid(z);
+      const double target = y[r];
+      const double err = p - target;
+      for (std::size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+      grad_bias += err;
+      loss -= target > 0.5 ? std::log(std::max(p, 1e-12))
+                           : std::log(std::max(1.0 - p, 1e-12));
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    loss *= inv_n;
+    for (std::size_t c = 0; c < d; ++c) {
+      loss += 0.5 * params_.l2 * weights_[c] * weights_[c];
+    }
+    const double step =
+        params_.learning_rate / (1.0 + 0.01 * static_cast<double>(iter));
+    for (std::size_t c = 0; c < d; ++c) {
+      weights_[c] -= step * (grad[c] * inv_n + params_.l2 * weights_[c]);
+    }
+    bias_ -= step * grad_bias * inv_n;
+    if (std::abs(previous_loss - loss) < params_.tolerance) {
+      converged_ = true;
+      break;
+    }
+    previous_loss = loss;
+  }
+}
+
+int LogisticRegression::predict_one(RowView x) const {
+  return predict_proba_one(x) > 0.5 ? 1 : 0;
+}
+
+double LogisticRegression::predict_proba_one(RowView x) const {
+  HMD_REQUIRE(!weights_.empty(), "LogisticRegression: predict before fit");
+  return sigmoid(dot_row(weights_, x) + bias_);
+}
+
+void LinearSvm::fit(const Matrix& x, const std::vector<int>& y, Rng& rng) {
+  HMD_REQUIRE(x.rows() > 0 && x.rows() == y.size(),
+              "LinearSvm::fit: bad shapes");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  weights_.assign(d, 0.0);
+  for (auto& w : weights_) w = rng.normal(0.0, 1e-2);
+  bias_ = 0.0;
+
+  std::vector<double> grad(d);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    double hinge = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* row = x.row_ptr(r);
+      double z = bias_;
+      for (std::size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+      const double target = y[r] == 1 ? 1.0 : -1.0;
+      const double margin = target * z;
+      if (margin < 1.0) {
+        hinge += 1.0 - margin;
+        for (std::size_t c = 0; c < d; ++c) grad[c] -= target * row[c];
+        grad_bias -= target;
+      }
+    }
+    mean_hinge_ = hinge * inv_n;
+    const double step =
+        params_.learning_rate / (1.0 + 0.05 * static_cast<double>(iter));
+    for (std::size_t c = 0; c < d; ++c) {
+      weights_[c] -= step * (grad[c] * inv_n + params_.l2 * weights_[c]);
+    }
+    bias_ -= step * grad_bias * inv_n;
+  }
+  converged_ = mean_hinge_ < params_.hinge_convergence_threshold;
+
+  // Platt scaling: 1-D logistic fit of P(y=1 | decision value) on the
+  // training margins.
+  platt_a_ = -2.0;
+  platt_b_ = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double grad_a = 0.0, grad_b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double value = decision_value(x.row(r));
+      const double p = sigmoid(-(platt_a_ * value + platt_b_));
+      const double err = p - (y[r] == 1 ? 1.0 : 0.0);
+      grad_a += -err * value;
+      grad_b += -err;
+    }
+    platt_a_ -= 0.5 * grad_a * inv_n;
+    platt_b_ -= 0.5 * grad_b * inv_n;
+  }
+}
+
+double LinearSvm::decision_value(RowView x) const {
+  HMD_REQUIRE(!weights_.empty(), "LinearSvm: predict before fit");
+  return dot_row(weights_, x) + bias_;
+}
+
+int LinearSvm::predict_one(RowView x) const {
+  return decision_value(x) > 0.0 ? 1 : 0;
+}
+
+double LinearSvm::predict_proba_one(RowView x) const {
+  return sigmoid(-(platt_a_ * decision_value(x) + platt_b_));
+}
+
+}  // namespace hmd::ml

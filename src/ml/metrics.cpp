@@ -1,0 +1,45 @@
+#include "ml/metrics.h"
+
+#include "common/error.h"
+
+namespace hmd::ml {
+
+double accuracy_score(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred) {
+  HMD_REQUIRE(!y_true.empty() && y_true.size() == y_pred.size(),
+              "accuracy_score: size mismatch");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    hits += y_true[i] == y_pred[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+BinaryMetrics binary_metrics(const std::vector<int>& y_true,
+                             const std::vector<int>& y_pred) {
+  HMD_REQUIRE(!y_true.empty() && y_true.size() == y_pred.size(),
+              "binary_metrics: size mismatch");
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_pred[i] == 1) {
+      (y_true[i] == 1 ? tp : fp) += 1;
+    } else {
+      (y_true[i] == 1 ? fn : tn) += 1;
+    }
+  }
+  BinaryMetrics m;
+  m.accuracy = static_cast<double>(tp + tn) /
+               static_cast<double>(y_true.size());
+  m.precision = tp + fp > 0
+                    ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+  m.recall = tp + fn > 0
+                 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                 : 0.0;
+  m.f1 = m.precision + m.recall > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace hmd::ml

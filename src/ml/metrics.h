@@ -1,0 +1,24 @@
+#pragma once
+// Classification metrics over hard binary predictions.
+
+#include <vector>
+
+namespace hmd::ml {
+
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Fraction of matching labels. Requires equal non-zero lengths.
+double accuracy_score(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred);
+
+/// Precision / recall / F1 with class 1 as the positive class. Degenerate
+/// denominators (no positive predictions / labels) yield 0.
+BinaryMetrics binary_metrics(const std::vector<int>& y_true,
+                             const std::vector<int>& y_pred);
+
+}  // namespace hmd::ml

@@ -1,0 +1,59 @@
+#include "ml/preprocessing.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmd::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  HMD_REQUIRE(x.rows() > 0, "StandardScaler::fit: empty matrix");
+  const std::size_t cols = x.cols();
+  means_.assign(cols, 0.0);
+  scales_.assign(cols, 0.0);
+  const double n = static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row_ptr(r);
+    for (std::size_t c = 0; c < cols; ++c) means_[c] += row[c];
+  }
+  for (std::size_t c = 0; c < cols; ++c) means_[c] /= n;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row_ptr(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double d = row[c] - means_[c];
+      scales_[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    scales_[c] = std::sqrt(scales_[c] / n);
+    if (scales_[c] < 1e-12) scales_[c] = 1.0;  // constant feature
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  HMD_REQUIRE(fitted(), "StandardScaler::transform before fit");
+  HMD_REQUIRE(x.cols() == means_.size(),
+              "StandardScaler::transform: column mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* src = x.row_ptr(r);
+    double* dst = out.row_ptr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+void StandardScaler::transform_row(RowView x,
+                                   std::vector<double>& out) const {
+  HMD_REQUIRE(fitted(), "StandardScaler::transform_row before fit");
+  HMD_REQUIRE(x.size() == means_.size(),
+              "StandardScaler::transform_row: column mismatch");
+  out.resize(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    out[c] = (x[c] - means_[c]) / scales_[c];
+  }
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,36 @@
+#pragma once
+// Feature preprocessing shared by the linear base learners, the t-SNE
+// bench, and the diversity ablation.
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "ml/dataset.h"
+
+namespace hmd::ml {
+
+/// Per-feature standardisation to zero mean / unit variance.
+class StandardScaler {
+ public:
+  /// Learn means and scales from `x`.
+  void fit(const Matrix& x);
+
+  /// Apply the learned transform. Requires fit() first.
+  Matrix transform(const Matrix& x) const;
+  void transform_row(RowView x, std::vector<double>& out) const;
+
+  Matrix fit_transform(const Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace hmd::ml

@@ -1,0 +1,147 @@
+#include "sim/app_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmd::sim {
+
+Workload AppProfile::sample(Rng& rng, double target_ms) const {
+  Workload workload;
+  double elapsed = 0.0;
+  while (elapsed < target_ms) {
+    const double cycle = period_ms * rng.uniform(0.8, 1.2);
+    Phase active;
+    active.duration_ms = std::max(2.0, cycle * duty);
+    active.cpu_util =
+        std::clamp(util_active + rng.normal(0.0, util_jitter), 0.0, 1.0);
+    active.mem_intensity =
+        std::clamp(mem_intensity + rng.normal(0.0, 0.03), 0.0, 1.0);
+    active.branch_irregularity =
+        std::clamp(branch_irregularity + rng.normal(0.0, 0.03), 0.0, 1.0);
+    workload.phases.push_back(active);
+    elapsed += active.duration_ms;
+
+    Phase idle;
+    idle.duration_ms = std::max(2.0, cycle * (1.0 - duty));
+    idle.cpu_util =
+        std::clamp(util_idle + rng.normal(0.0, util_jitter), 0.0, 1.0);
+    idle.mem_intensity =
+        std::clamp(0.5 * mem_intensity + rng.normal(0.0, 0.02), 0.0, 1.0);
+    idle.branch_irregularity = active.branch_irregularity;
+    workload.phases.push_back(idle);
+    elapsed += idle.duration_ms;
+  }
+  return workload;
+}
+
+HpcWindow HpcAppProfile::sample_window(Rng& rng) const {
+  const double window_util =
+      std::clamp(util + rng.normal(0.0, spread), 0.02, 1.0);
+  const double window_mem =
+      std::clamp(mem + rng.normal(0.0, 0.6 * spread), 0.0, 1.0);
+  const double window_branch =
+      std::clamp(branch + rng.normal(0.0, 0.6 * spread), 0.0, 1.0);
+  const double freq = std::clamp(rng.normal(0.70, 0.12), 0.4, 1.0);
+
+  HpcWindow window;
+  window.cycles = 1.0e7 * freq;
+  const double ipc = std::max(
+      0.1, 1.8 * window_util * (1.0 - 0.5 * window_mem) +
+               rng.normal(0.0, 0.05));
+  window.instructions = window.cycles * ipc;
+  window.branches = window.instructions * 0.18;
+  window.branch_misses =
+      window.branches *
+      std::clamp(0.02 + 0.1 * window_branch + rng.normal(0.0, 0.004), 0.0,
+                 1.0);
+  window.cache_references = window.instructions * 0.32;
+  window.cache_misses =
+      window.cache_references *
+      std::clamp(0.03 + 0.25 * window_mem + rng.normal(0.0, 0.01), 0.0,
+                 1.0);
+  window.mem_accesses = window.instructions * 0.27 * window_mem;
+  window.page_faults =
+      std::max(0.0, 20.0 * window_mem + rng.normal(0.0, 3.0));
+  return window;
+}
+
+// ---------------------------------------------------------------------------
+// DVFS rosters. Benign rhythms live in the low/mid utilisation band,
+// known malware pegs the top states, and the zero-day roster occupies the
+// mid-high band (~0.60-0.75) that neither training class visits.
+
+const std::vector<AppProfile>& dvfs_benign_apps() {
+  static const std::vector<AppProfile> apps = {
+      {"browser", 0, 0.45, 0.08, 0.05, 90.0, 0.45, 0.35, 0.40},
+      {"video_player", 0, 0.38, 0.15, 0.04, 40.0, 0.75, 0.45, 0.20},
+      {"audio_stream", 0, 0.18, 0.05, 0.03, 25.0, 0.60, 0.20, 0.15},
+      {"game_2d", 0, 0.55, 0.20, 0.05, 60.0, 0.65, 0.40, 0.45},
+      {"maps_nav", 0, 0.42, 0.12, 0.05, 120.0, 0.50, 0.50, 0.35},
+      {"camera_app", 0, 0.50, 0.18, 0.04, 35.0, 0.80, 0.55, 0.25},
+      {"messaging", 0, 0.30, 0.05, 0.05, 150.0, 0.30, 0.25, 0.30},
+      {"sync_daemon", 0, 0.25, 0.06, 0.04, 200.0, 0.35, 0.30, 0.20},
+  };
+  return apps;
+}
+
+const std::vector<AppProfile>& dvfs_malware_apps() {
+  static const std::vector<AppProfile> apps = {
+      {"cryptominer", 1, 0.97, 0.90, 0.02, 100.0, 0.95, 0.60, 0.30},
+      {"ransomware_enc", 1, 0.92, 0.75, 0.04, 70.0, 0.85, 0.75, 0.40},
+      {"adware_flood", 1, 0.88, 0.70, 0.05, 50.0, 0.80, 0.45, 0.60},
+      {"sms_trojan", 1, 0.90, 0.65, 0.04, 140.0, 0.75, 0.40, 0.50},
+      {"botnet_ddos", 1, 0.95, 0.80, 0.03, 30.0, 0.90, 0.35, 0.55},
+  };
+  return apps;
+}
+
+const std::vector<AppProfile>& dvfs_unknown_apps() {
+  static const std::vector<AppProfile> apps = {
+      {"throttled_miner", 1, 0.68, 0.55, 0.04, 90.0, 0.85, 0.55, 0.35},
+      {"duty_cycled_miner", 1, 0.72, 0.35, 0.05, 45.0, 0.55, 0.60, 0.30},
+      {"stealth_exfil", 1, 0.62, 0.50, 0.04, 160.0, 0.70, 0.45, 0.45},
+      {"covert_crypter", 1, 0.66, 0.45, 0.05, 60.0, 0.65, 0.70, 0.40},
+  };
+  return apps;
+}
+
+// ---------------------------------------------------------------------------
+// HPC rosters. The class centres differ by well under the within-app
+// spread, so benign and malware windows overlap heavily, and the unknown
+// roster is drawn from inside that overlap — zero-days are
+// in-distribution for this sensor (Fig. 5 / Fig. 9b).
+
+const std::vector<HpcAppProfile>& hpc_benign_apps() {
+  static const std::vector<HpcAppProfile> apps = {
+      {"browser", 0, 0.40, 0.30, 0.30, 0.18},
+      {"video_player", 0, 0.48, 0.42, 0.22, 0.16},
+      {"game_2d", 0, 0.55, 0.38, 0.40, 0.18},
+      {"office_suite", 0, 0.35, 0.25, 0.35, 0.17},
+      {"photo_editor", 0, 0.52, 0.45, 0.28, 0.18},
+      {"file_indexer", 0, 0.45, 0.50, 0.25, 0.16},
+  };
+  return apps;
+}
+
+const std::vector<HpcAppProfile>& hpc_malware_apps() {
+  static const std::vector<HpcAppProfile> apps = {
+      {"spyware_keylog", 1, 0.50, 0.38, 0.42, 0.18},
+      {"rootkit_hook", 1, 0.58, 0.45, 0.38, 0.17},
+      {"worm_scanner", 1, 0.62, 0.40, 0.45, 0.18},
+      {"trojan_dropper", 1, 0.55, 0.52, 0.35, 0.17},
+      {"backdoor_shell", 1, 0.48, 0.42, 0.48, 0.18},
+  };
+  return apps;
+}
+
+const std::vector<HpcAppProfile>& hpc_unknown_apps() {
+  static const std::vector<HpcAppProfile> apps = {
+      {"zero_day_miner", 1, 0.56, 0.44, 0.40, 0.17},
+      {"zero_day_stealer", 1, 0.52, 0.40, 0.44, 0.18},
+      {"zero_day_wiper", 1, 0.58, 0.48, 0.37, 0.17},
+      {"zero_day_rat", 1, 0.50, 0.43, 0.42, 0.18},
+  };
+  return apps;
+}
+
+}  // namespace hmd::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Application rosters behind the Table I datasets. A DVFS profile is a
+// stochastic workload generator whose utilisation rhythm the governor
+// transduces into state sequences; an HPC profile is a counter-window
+// distribution. Benign and malware DVFS families separate cleanly, the
+// DVFS zero-day roster occupies a utilisation band the training rosters
+// never visit (OOD), and the HPC rosters overlap heavily — the three
+// geometries the paper's figures hinge on.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/soc.h"
+
+namespace hmd::sim {
+
+/// Workload generator for one application.
+struct AppProfile {
+  std::string name;
+  int label = 0;  ///< 0 = benign, 1 = malware
+  // Active/idle duty cycle: active bursts at util_active, gaps near
+  // util_idle, alternating with the given period and duty fraction.
+  double util_active = 0.5;
+  double util_idle = 0.1;
+  double util_jitter = 0.05;
+  double period_ms = 80.0;
+  double duty = 0.5;
+  double mem_intensity = 0.3;
+  double branch_irregularity = 0.3;
+
+  /// Draw ~target_ms worth of phases.
+  Workload sample(Rng& rng, double target_ms = 400.0) const;
+};
+
+/// Counter-window distribution for one application (HPC dataset).
+struct HpcAppProfile {
+  std::string name;
+  int label = 0;
+  double util = 0.5;     ///< mean utilisation driving instruction volume
+  double mem = 0.3;      ///< cache-pressure centre
+  double branch = 0.3;   ///< branch-irregularity centre
+  double spread = 0.18;  ///< within-app variability (the overlap knob)
+
+  HpcWindow sample_window(Rng& rng) const;
+};
+
+// DVFS dataset rosters (train/test share these...)
+const std::vector<AppProfile>& dvfs_benign_apps();
+const std::vector<AppProfile>& dvfs_malware_apps();
+// ...and the zero-day roster is disjoint from both.
+const std::vector<AppProfile>& dvfs_unknown_apps();
+
+// HPC dataset rosters; benign and malware distributions overlap, and the
+// unknown roster sits inside the overlap region.
+const std::vector<HpcAppProfile>& hpc_benign_apps();
+const std::vector<HpcAppProfile>& hpc_malware_apps();
+const std::vector<HpcAppProfile>& hpc_unknown_apps();
+
+}  // namespace hmd::sim

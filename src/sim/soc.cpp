@@ -1,0 +1,97 @@
+#include "sim/soc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmd::sim {
+
+SocSim::SocSim(SocParams params) : params_(std::move(params)) {
+  HMD_REQUIRE(params_.n_states >= 2, "SocSim: need >= 2 DVFS states");
+  HMD_REQUIRE(params_.governor == "ondemand" ||
+                  params_.governor == "conservative" ||
+                  params_.governor == "performance" ||
+                  params_.governor == "powersave",
+              "SocSim: unknown governor policy");
+}
+
+int SocSim::next_state(int state, double util) const {
+  const int top = params_.n_states - 1;
+  if (params_.governor == "performance") return top;
+  if (params_.governor == "powersave") return 0;
+  const int target = static_cast<int>(
+      std::lround(util * static_cast<double>(top)));
+  if (params_.governor == "conservative") {
+    // One step toward the demand at a time.
+    if (target > state) return state + 1;
+    if (target < state) return state - 1;
+    return state;
+  }
+  // ondemand: jump straight to max on high demand, decay gradually,
+  // otherwise track the demand proportionally.
+  if (util > params_.up_threshold) return top;
+  if (util < params_.down_threshold) return std::max(0, state - 1);
+  return target;
+}
+
+Trace SocSim::run(const Workload& workload, Rng& rng) const {
+  HMD_REQUIRE(!workload.phases.empty(), "SocSim::run: empty workload");
+  Trace trace;
+  trace.n_states = params_.n_states;
+
+  const double top = params_.n_states - 1;
+  int state = 0;
+  HpcWindow window;
+  double window_elapsed_ms = 0.0;
+
+  for (const auto& phase : workload.phases) {
+    const auto n_steps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(phase.duration_ms / params_.sample_period_ms)));
+    for (std::size_t step = 0; step < n_steps; ++step) {
+      const double util = std::clamp(
+          phase.cpu_util + rng.normal(0.0, params_.util_noise), 0.0, 1.0);
+      state = std::clamp(next_state(state, util), 0, params_.n_states - 1);
+      trace.states.push_back(state);
+      trace.utilisation.push_back(util);
+
+      // Counter micro-model: work scales with utilisation and the
+      // frequency the governor granted; stalls scale with memory traffic.
+      const double freq = 0.4 + 0.6 * static_cast<double>(state) / top;
+      const double cycles = 1.0e6 * freq * params_.sample_period_ms;
+      const double ipc =
+          std::max(0.1, 1.8 * util * (1.0 - 0.5 * phase.mem_intensity) +
+                            rng.normal(0.0, 0.05));
+      const double instructions = cycles * ipc;
+      window.cycles += cycles;
+      window.instructions += instructions;
+      window.branches += instructions * 0.18;
+      window.branch_misses +=
+          instructions * 0.18 *
+          std::clamp(0.02 + 0.1 * phase.branch_irregularity +
+                         rng.normal(0.0, 0.004),
+                     0.0, 1.0);
+      window.cache_references += instructions * 0.32;
+      window.cache_misses +=
+          instructions * 0.32 *
+          std::clamp(0.03 + 0.25 * phase.mem_intensity +
+                         rng.normal(0.0, 0.01),
+                     0.0, 1.0);
+      window.mem_accesses += instructions * 0.27 * phase.mem_intensity;
+      window.page_faults +=
+          std::max(0.0, phase.mem_intensity * 2.0 + rng.normal(0.0, 0.3));
+
+      window_elapsed_ms += params_.sample_period_ms;
+      if (window_elapsed_ms >= params_.hpc_window_ms) {
+        trace.hpc_windows.push_back(window);
+        window = HpcWindow{};
+        window_elapsed_ms = 0.0;
+      }
+    }
+  }
+  if (window_elapsed_ms > 0.0) trace.hpc_windows.push_back(window);
+  return trace;
+}
+
+}  // namespace hmd::sim

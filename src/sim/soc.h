@@ -1,0 +1,81 @@
+#pragma once
+// Behavioural SoC simulator: a DVFS governor responding to a workload's
+// utilisation trace, plus hardware performance counter (HPC) windows.
+// The DVFS-based HMD observes only the governor state sequence — the
+// signature is the governor's *response* to the workload, which is why
+// pinned policies (performance/powersave) destroy the signal (ablation
+// A5).
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hmd::sim {
+
+struct SocParams {
+  /// Governor policy: "ondemand", "conservative", "performance",
+  /// "powersave".
+  std::string governor = "ondemand";
+  int n_states = 8;               ///< DVFS frequency states 0..n-1
+  double sample_period_ms = 1.0;  ///< governor decision interval
+  double up_threshold = 0.80;     ///< ondemand jump-to-max utilisation
+  double down_threshold = 0.30;   ///< ondemand step-down utilisation
+  double util_noise = 0.04;       ///< measurement noise on utilisation
+  double hpc_window_ms = 10.0;    ///< HPC aggregation window
+};
+
+/// One workload phase with stationary behaviour.
+struct Phase {
+  double duration_ms = 10.0;
+  double cpu_util = 0.5;             ///< mean utilisation in [0, 1]
+  double mem_intensity = 0.3;        ///< memory traffic per instruction
+  double branch_irregularity = 0.3;  ///< branch misprediction propensity
+};
+
+struct Workload {
+  std::vector<Phase> phases;
+
+  double total_duration_ms() const {
+    double total = 0.0;
+    for (const auto& phase : phases) total += phase.duration_ms;
+    return total;
+  }
+};
+
+/// Aggregated hardware counters over one window.
+struct HpcWindow {
+  double instructions = 0.0;
+  double cycles = 0.0;
+  double cache_references = 0.0;
+  double cache_misses = 0.0;
+  double branches = 0.0;
+  double branch_misses = 0.0;
+  double mem_accesses = 0.0;
+  double page_faults = 0.0;
+};
+
+struct Trace {
+  int n_states = 0;
+  std::vector<int> states;            ///< governor state per sample period
+  std::vector<double> utilisation;    ///< observed utilisation per period
+  std::vector<HpcWindow> hpc_windows;
+};
+
+class SocSim {
+ public:
+  SocSim() = default;
+  explicit SocSim(SocParams params);
+
+  /// Simulate the workload and return the full trace.
+  Trace run(const Workload& workload, Rng& rng) const;
+
+  const SocParams& params() const { return params_; }
+
+ private:
+  int next_state(int state, double util) const;
+
+  SocParams params_;
+};
+
+}  // namespace hmd::sim

@@ -1,0 +1,168 @@
+#include "tsne/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hmd::tsne {
+
+namespace {
+
+// Symmetrised input affinities P (row-major n x n) from squared pairwise
+// distances, with a binary search for the Gaussian bandwidth matching the
+// requested perplexity.
+std::vector<double> input_affinities(const Matrix& x, double perplexity) {
+  const std::size_t n = x.rows();
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = squared_distance(x.row(i), x.row(j));
+      d2[i * n + j] = d;
+      d2[j * n + i] = d;
+    }
+  }
+
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> p(n * n, 0.0);
+  std::vector<double> row(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e300;
+    for (int it = 0; it < 64; ++it) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]);
+        sum += row[j];
+      }
+      sum = std::max(sum, 1e-300);
+      // H = log(sum) + beta * E[d2] under the conditional distribution.
+      double weighted = 0.0;
+      for (std::size_t j = 0; j < n; ++j) weighted += row[j] * d2[i * n + j];
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e300 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      sum += row[j];
+    }
+    sum = std::max(sum, 1e-300);
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] = row[j] / sum;
+  }
+
+  // Symmetrise and normalise over all pairs.
+  std::vector<double> sym(n * n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sym[i * n + j] = (p[i * n + j] + p[j * n + i]) / 2.0;
+      total += sym[i * n + j];
+    }
+  }
+  total = std::max(total, 1e-300);
+  for (double& v : sym) v = std::max(v / total, 1e-12);
+  return sym;
+}
+
+}  // namespace
+
+TsneResult tsne_embed(const Matrix& x, const TsneParams& params) {
+  const std::size_t n = x.rows();
+  HMD_REQUIRE(n >= 4, "tsne_embed: need at least 4 points");
+  HMD_REQUIRE(params.n_components >= 1, "tsne_embed: bad n_components");
+  const auto dim = static_cast<std::size_t>(params.n_components);
+  const double perplexity = std::min(
+      params.perplexity, std::max(2.0, static_cast<double>(n - 1) / 3.0));
+
+  const std::vector<double> p = input_affinities(x, perplexity);
+
+  Rng rng(params.seed + 1);
+  Matrix y(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < dim; ++c) y(i, c) = rng.normal(0.0, 1e-4);
+  }
+
+  std::vector<double> velocity(n * dim, 0.0);
+  std::vector<double> gains(n * dim, 1.0);
+  std::vector<double> q(n * n, 0.0);
+  std::vector<double> gradient(n * dim, 0.0);
+  double kl = 0.0;
+
+  for (int iter = 0; iter < params.n_iterations; ++iter) {
+    const double exaggeration =
+        iter < params.exaggeration_iters ? params.early_exaggeration : 1.0;
+    const double momentum = iter < params.exaggeration_iters
+                                ? params.initial_momentum
+                                : params.final_momentum;
+
+    // Student-t output affinities.
+    double q_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double w =
+            1.0 / (1.0 + squared_distance(y.row(i), y.row(j)));
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_total += 2.0 * w;
+      }
+    }
+    q_total = std::max(q_total, 1e-300);
+
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    kl = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double pij = p[i * n + j] * exaggeration;
+        const double w = q[i * n + j];
+        const double qij = std::max(w / q_total, 1e-12);
+        const double coeff = 4.0 * (pij - qij) * w;
+        for (std::size_t c = 0; c < dim; ++c) {
+          gradient[i * dim + c] += coeff * (y(i, c) - y(j, c));
+        }
+        if (exaggeration == 1.0) {
+          kl += p[i * n + j] * std::log(p[i * n + j] / qij);
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k < n * dim; ++k) {
+      // Adaptive per-coordinate gains as in the reference implementation.
+      const bool same_sign = (gradient[k] > 0.0) == (velocity[k] > 0.0);
+      gains[k] = same_sign ? std::max(0.01, gains[k] * 0.8) : gains[k] + 0.2;
+      velocity[k] = momentum * velocity[k] -
+                    params.learning_rate * gains[k] * gradient[k];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < dim; ++c) y(i, c) += velocity[i * dim + c];
+    }
+
+    // Re-centre the embedding each step.
+    for (std::size_t c = 0; c < dim; ++c) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y(i, c) -= mean;
+    }
+  }
+
+  TsneResult result;
+  result.embedding = std::move(y);
+  result.kl_divergence = kl;
+  return result;
+}
+
+}  // namespace hmd::tsne

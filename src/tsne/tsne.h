@@ -1,0 +1,36 @@
+#pragma once
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 8 latent-space
+// visualisation. O(N^2) pairwise affinities with a per-point perplexity
+// binary search, then gradient descent with momentum and early
+// exaggeration on the 2-D embedding. Deterministic for a fixed seed.
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace hmd::tsne {
+
+struct TsneParams {
+  int n_components = 2;
+  double perplexity = 30.0;
+  int n_iterations = 400;
+  double learning_rate = 200.0;
+  /// Pij are multiplied by this factor for the first `exaggeration_iters`
+  /// iterations to form tight, well-separated clusters early.
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  std::uint64_t seed = 0;
+};
+
+struct TsneResult {
+  Matrix embedding;           ///< rows x n_components
+  double kl_divergence = 0.0; ///< KL(P || Q) at the final iteration
+};
+
+/// Embed the rows of x. Requires x.rows() >= 4; perplexity is clamped to
+/// (rows - 1) / 3 as in the reference implementation.
+TsneResult tsne_embed(const Matrix& x, const TsneParams& params);
+
+}  // namespace hmd::tsne

@@ -1,0 +1,83 @@
+// Bench harness plumbing: flag parsing (--threads, the widened --scale
+// range) and cache-stem collision safety across scales.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+
+namespace {
+
+using namespace hmd;
+
+bench::BenchOptions parse(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& arg : args) argv.push_back(arg.data());
+  return bench::parse_bench_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseBenchArgs, Defaults) {
+  const auto options = parse({});
+  EXPECT_DOUBLE_EQ(options.scale, 1.0);
+  EXPECT_EQ(options.n_members, 100);
+  EXPECT_EQ(options.n_threads, 0);
+  EXPECT_TRUE(options.use_cache);
+}
+
+TEST(ParseBenchArgs, ThreadsFlagReachesOptions) {
+  EXPECT_EQ(parse({"--threads=4"}).n_threads, 4);
+  EXPECT_EQ(parse({"--threads=0"}).n_threads, 0);
+  EXPECT_THROW(parse({"--threads=-1"}), InvalidArgument);
+}
+
+TEST(ParseBenchArgs, ScaleAcceptsUpTo16) {
+  EXPECT_DOUBLE_EQ(parse({"--scale=0.05"}).scale, 0.05);
+  EXPECT_DOUBLE_EQ(parse({"--scale=2.5"}).scale, 2.5);
+  EXPECT_DOUBLE_EQ(parse({"--scale=16"}).scale, 16.0);
+  EXPECT_THROW(parse({"--scale=0"}), InvalidArgument);
+  EXPECT_THROW(parse({"--scale=16.5"}), InvalidArgument);
+  EXPECT_THROW(parse({"--scale=-1"}), InvalidArgument);
+}
+
+TEST(CacheStem, EncodesSeedAndScale) {
+  bench::BenchOptions options;
+  options.cache_dir = "cache";
+  options.scale = 0.05;
+  EXPECT_EQ(bench::cache_stem(options, "dvfs", 7), "cache/dvfs_s7_x50000");
+}
+
+TEST(CacheStem, DistinctScalesNeverCollide) {
+  // Regression: int(scale * 1000) merged nearby scales (1.0005 vs 1.0009)
+  // and would have kept doing so for stress scales above 1. The stem now
+  // encodes the scale at 1e-6 resolution.
+  bench::BenchOptions options;
+  const std::vector<double> scales = {0.0005, 0.001, 0.05,  0.5,
+                                      1.0,    1.0005, 1.0009, 2.0,
+                                      2.5,    4.0,   16.0};
+  std::vector<std::string> stems;
+  for (const double scale : scales) {
+    options.scale = scale;
+    stems.push_back(bench::cache_stem(options, "hpc", 13));
+  }
+  for (std::size_t i = 0; i < stems.size(); ++i) {
+    for (std::size_t j = i + 1; j < stems.size(); ++j) {
+      EXPECT_NE(stems[i], stems[j])
+          << "scales " << scales[i] << " and " << scales[j];
+    }
+  }
+}
+
+TEST(CacheStem, SeedsNeverCollide) {
+  bench::BenchOptions options;
+  EXPECT_NE(bench::cache_stem(options, "dvfs", 7),
+            bench::cache_stem(options, "dvfs", 8));
+  EXPECT_NE(bench::cache_stem(options, "dvfs", 7),
+            bench::cache_stem(options, "hpc", 7));
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Golden parity suite: the flat struct-of-arrays engine (per-sample and
+// batched, stump-specialised and general trees alike) must be bit-identical
+// to the reference pointer-tree path — predictions, vote counts, summed
+// probabilities, and every entropy — across both dataset bundles and
+// ensemble sizes M in {1, 5, 100}.
+
+#include <gtest/gtest.h>
+
+#include "core/flat_forest.h"
+#include "core/hmd.h"
+#include "core/uncertainty.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace hmd;
+
+core::HmdConfig config_for(int members, int threads = 0) {
+  core::HmdConfig config;
+  config.model = core::ModelKind::kRandomForest;
+  config.n_members = members;
+  config.n_threads = threads;
+  config.seed = 42;
+  return config;
+}
+
+void expect_parity(const data::DatasetBundle& bundle, int members) {
+  SCOPED_TRACE(bundle.name + " M=" + std::to_string(members));
+  core::TrustedHmd hmd(config_for(members));
+  hmd.fit(bundle.train);
+  ASSERT_TRUE(hmd.uses_flat_engine());
+
+  const core::UncertaintyEstimator reference(
+      core::EnsembleView::of(hmd.ensemble()));
+
+  const Matrix& x = bundle.test.X;
+  const auto detections = hmd.detect_batch(x);
+  const auto estimates = hmd.estimate_batch(x);
+  ASSERT_EQ(detections.size(), x.rows());
+  ASSERT_EQ(estimates.size(), x.rows());
+
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    SCOPED_TRACE("row " + std::to_string(r));
+    const core::EnsembleStats ref = reference.reference_stats(x.row(r));
+    const core::EnsembleStats flat = hmd.flat_forest().stats_one(x.row(r));
+
+    // Per-sample flat engine vs member-by-member reference: bit-identical.
+    EXPECT_EQ(flat.votes1, ref.votes1);
+    EXPECT_EQ(flat.sum_p1, ref.sum_p1);
+    EXPECT_EQ(flat.sum_entropy, ref.sum_entropy);
+
+    // Batched vs per-sample: identical detections...
+    const core::Detection one = hmd.detect(x.row(r));
+    EXPECT_EQ(detections[r].prediction, one.prediction);
+    EXPECT_EQ(detections[r].confidence, one.confidence);
+    EXPECT_EQ(detections[r].score, one.score);
+    EXPECT_EQ(detections[r].trusted, one.trusted);
+
+    // ...and identical full estimates, entropy by entropy.
+    const core::Estimate estimate = hmd.estimate(x.row(r));
+    EXPECT_EQ(estimates[r].prediction, estimate.prediction);
+    EXPECT_EQ(estimates[r].votes_malware, estimate.votes_malware);
+    EXPECT_EQ(estimates[r].vote_entropy, estimate.vote_entropy);
+    EXPECT_EQ(estimates[r].soft_entropy, estimate.soft_entropy);
+    EXPECT_EQ(estimates[r].expected_entropy, estimate.expected_entropy);
+    EXPECT_EQ(estimates[r].mutual_information, estimate.mutual_information);
+    EXPECT_EQ(estimates[r].variation_ratio, estimate.variation_ratio);
+    EXPECT_EQ(estimates[r].max_probability, estimate.max_probability);
+    EXPECT_EQ(estimates[r].score, estimate.score);
+    EXPECT_EQ(estimates[r].trusted, estimate.trusted);
+
+    // Prediction / vote parity against the raw reference ensemble.
+    EXPECT_EQ(estimates[r].votes_malware, ref.votes1);
+    EXPECT_EQ(detections[r].prediction, 2 * ref.votes1 > members ? 1 : 0);
+  }
+
+  // Score sweep over every mode, flat batched vs reference per-sample.
+  for (const auto mode :
+       {core::UncertaintyMode::kVoteEntropy, core::UncertaintyMode::kSoftEntropy,
+        core::UncertaintyMode::kExpectedEntropy,
+        core::UncertaintyMode::kMutualInformation,
+        core::UncertaintyMode::kVariationRatio,
+        core::UncertaintyMode::kMaxProbability}) {
+    const auto flat_scores = hmd.scores(x, mode);
+    const auto ref_scores = reference.scores(x, mode);
+    ASSERT_EQ(flat_scores.size(), ref_scores.size());
+    for (std::size_t r = 0; r < flat_scores.size(); ++r) {
+      EXPECT_EQ(flat_scores[r], ref_scores[r])
+          << core::uncertainty_mode_name(mode) << " row " << r;
+    }
+  }
+}
+
+TEST(FlatForestParity, DvfsAllEnsembleSizes) {
+  for (const int members : {1, 5, 100}) {
+    expect_parity(test::small_dvfs(), members);
+  }
+}
+
+TEST(FlatForestParity, HpcAllEnsembleSizes) {
+  for (const int members : {1, 5, 100}) {
+    expect_parity(test::small_hpc(), members);
+  }
+}
+
+TEST(FlatForestParity, StumpSpecialisationCoversSeparableData) {
+  // The DVFS classes are well separated, so most members compile to the
+  // specialised stump path — the parity above must therefore have
+  // exercised it. Guard against the specialisation silently disappearing.
+  core::TrustedHmd hmd(config_for(100));
+  hmd.fit(test::small_dvfs().train);
+  EXPECT_GT(hmd.flat_forest().n_stumps(), 50u);
+  EXPECT_EQ(hmd.flat_forest().n_trees(), 100u);
+}
+
+TEST(FlatForestParity, HpcGrowsGeneralTrees) {
+  // Overlapping HPC classes must force at least some non-stump members,
+  // so the general walk path is exercised by the HPC parity case.
+  core::TrustedHmd hmd(config_for(100));
+  hmd.fit(test::small_hpc().train);
+  EXPECT_LT(hmd.flat_forest().n_stumps(), hmd.flat_forest().n_trees());
+}
+
+TEST(FlatForestParity, BatchIsDeterministicAcrossThreadCounts) {
+  const auto& bundle = test::small_dvfs();
+  core::TrustedHmd serial(config_for(40, 1));
+  core::TrustedHmd threaded(config_for(40, 3));
+  serial.fit(bundle.train);
+  threaded.fit(bundle.train);
+  const auto a = serial.estimate_batch(bundle.test.X);
+  const auto b = threaded.estimate_batch(bundle.test.X);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].votes_malware, b[r].votes_malware);
+    EXPECT_EQ(a[r].vote_entropy, b[r].vote_entropy);
+    EXPECT_EQ(a[r].soft_entropy, b[r].soft_entropy);
+  }
+}
+
+TEST(FlatForestParity, LinearEnsembleFallsBackToReferencePath) {
+  core::HmdConfig config = config_for(10);
+  config.model = core::ModelKind::kBaggedLogistic;
+  core::TrustedHmd hmd(config);
+  hmd.fit(test::small_dvfs().train);
+  EXPECT_FALSE(hmd.uses_flat_engine());
+  // Batch and per-sample must still agree through the reference path.
+  const Matrix& x = test::small_dvfs().test.X;
+  const auto batch = hmd.detect_batch(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto one = hmd.detect(x.row(r));
+    EXPECT_EQ(batch[r].prediction, one.prediction);
+    EXPECT_EQ(batch[r].score, one.score);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+#pragma once
+// Shared fixtures: small dataset bundles built once per test binary (the
+// simulators are deterministic, so every suite sees identical data).
+
+#include "datasets/dvfs_dataset.h"
+#include "datasets/hpc_dataset.h"
+
+namespace hmd::test {
+
+/// Scaled-down DVFS bundle (well-separated classes, mostly stump trees).
+inline const data::DatasetBundle& small_dvfs() {
+  static const data::DatasetBundle bundle = [] {
+    data::DvfsDatasetConfig config;
+    config.seed = 7;
+    config.n_train = 180;
+    config.n_test = 60;
+    config.n_unknown = 40;
+    return data::build_dvfs_dataset(config);
+  }();
+  return bundle;
+}
+
+/// Scaled-down HPC bundle (overlapping classes, deeper trees).
+inline const data::DatasetBundle& small_hpc() {
+  static const data::DatasetBundle bundle = [] {
+    data::HpcDatasetConfig config;
+    config.seed = 13;
+    config.n_train = 400;
+    config.n_test = 120;
+    config.n_unknown = 80;
+    return data::build_hpc_dataset(config);
+  }();
+  return bundle;
+}
+
+}  // namespace hmd::test

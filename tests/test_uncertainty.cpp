@@ -1,0 +1,84 @@
+// Uncertainty scores: the O(1) vote-entropy lookup table must be a pure
+// (bit-exact) replacement for the log evaluation, and the score family
+// must satisfy its defining identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flat_forest.h"
+#include "core/uncertainty.h"
+
+namespace {
+
+using namespace hmd::core;
+
+TEST(VoteEntropyTable, MatchesBinaryEntropyExactly) {
+  for (const int m : {1, 5, 20, 100, 999}) {
+    const VoteEntropyTable table(m);
+    ASSERT_EQ(table.n_members(), m);
+    for (int k = 0; k <= m; ++k) {
+      const double direct =
+          binary_entropy(static_cast<double>(k) / static_cast<double>(m));
+      EXPECT_EQ(table[k], direct) << "M=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(VoteEntropyTable, EndpointsAreZeroAndMidpointIsLn2) {
+  const VoteEntropyTable table(100);
+  EXPECT_EQ(table[0], 0.0);
+  EXPECT_EQ(table[100], 0.0);
+  EXPECT_DOUBLE_EQ(table[50], std::log(2.0));
+}
+
+TEST(UncertaintyScore, LutAndDirectVoteEntropyAgree) {
+  const int m = 100;
+  const VoteEntropyTable table(m);
+  for (int votes = 0; votes <= m; ++votes) {
+    EnsembleStats stats;
+    stats.votes1 = votes;
+    EXPECT_EQ(uncertainty_score(UncertaintyMode::kVoteEntropy, stats, m,
+                                &table),
+              uncertainty_score(UncertaintyMode::kVoteEntropy, stats, m,
+                                nullptr));
+  }
+}
+
+TEST(UncertaintyScore, MutualInformationIsSoftMinusExpected) {
+  EnsembleStats stats;
+  stats.votes1 = 37;
+  stats.sum_p1 = 41.5;
+  stats.sum_entropy = 12.25;
+  const int m = 100;
+  const double soft =
+      uncertainty_score(UncertaintyMode::kSoftEntropy, stats, m, nullptr);
+  const double expected =
+      uncertainty_score(UncertaintyMode::kExpectedEntropy, stats, m, nullptr);
+  const double mi = uncertainty_score(UncertaintyMode::kMutualInformation,
+                                      stats, m, nullptr);
+  EXPECT_EQ(mi, soft - expected);
+}
+
+TEST(UncertaintyScore, VariationRatioAndMaxProbability) {
+  EnsembleStats stats;
+  stats.votes1 = 80;
+  stats.sum_p1 = 70.0;
+  const int m = 100;
+  EXPECT_DOUBLE_EQ(
+      uncertainty_score(UncertaintyMode::kVariationRatio, stats, m, nullptr),
+      0.2);
+  EXPECT_DOUBLE_EQ(
+      uncertainty_score(UncertaintyMode::kMaxProbability, stats, m, nullptr),
+      1.0 - 0.7);
+}
+
+TEST(BinaryEntropy, DegenerateInputsAreZero) {
+  EXPECT_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_EQ(binary_entropy(-0.1), 0.0);
+  EXPECT_EQ(binary_entropy(1.1), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), std::log(2.0));
+}
+
+}  // namespace
