@@ -24,6 +24,7 @@
 
 #include "core/flat_forest.h"
 #include "core/hmd.h"
+#include "core/model_artifact.h"
 #include "core/uncertainty.h"
 #include "datasets/dvfs_dataset.h"
 #include "datasets/io.h"
@@ -54,6 +55,28 @@ core::HmdConfig config_for(int members) {
   config.n_threads = 0;
   config.seed = 1;
   return config;
+}
+
+core::HmdConfig linear_config_for(core::ModelKind kind, int members) {
+  core::HmdConfig config = config_for(members);
+  config.model = kind;
+  return config;
+}
+
+/// The pre-engine linear batch path, reproduced verbatim: standardise the
+/// whole matrix, then query members one sample at a time and accumulate
+/// with the reference accumulate_stats. This is what detect_batch cost on
+/// LR/SVM models before FlatLinearEngine existed.
+std::vector<core::EnsembleStats> reference_linear_batch(
+    const core::UntrustedHmd& hmd, const Matrix& x) {
+  const Matrix scaled = hmd.input_scaler().transform(x);
+  std::vector<core::EnsembleStats> stats(scaled.rows());
+  std::vector<double> probabilities;
+  for (std::size_t r = 0; r < scaled.rows(); ++r) {
+    hmd.ensemble().member_probabilities(scaled.row(r), probabilities);
+    stats[r] = core::accumulate_stats(probabilities);
+  }
+  return stats;
 }
 
 void BM_UntrustedDetect(benchmark::State& state) {
@@ -147,6 +170,77 @@ void BM_UncertaintyEstimateOnly(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_UncertaintyEstimateOnly)->Arg(20)->Arg(100);
+
+void BM_LinearDetectBatch(benchmark::State& state) {
+  const auto kind = state.range(1) == 0 ? core::ModelKind::kBaggedLogistic
+                                        : core::ModelKind::kBaggedSvm;
+  core::TrustedHmd hmd(
+      linear_config_for(kind, static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.detect_batch(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.rows()));
+}
+BENCHMARK(BM_LinearDetectBatch)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({20, 0});
+
+void BM_LinearDetectBatchReference(benchmark::State& state) {
+  const auto kind = state.range(1) == 0 ? core::ModelKind::kBaggedLogistic
+                                        : core::ModelKind::kBaggedSvm;
+  core::TrustedHmd hmd(
+      linear_config_for(kind, static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().test.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_linear_batch(hmd, x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.rows()));
+}
+BENCHMARK(BM_LinearDetectBatchReference)->Args({100, 0})->Args({100, 1});
+
+void BM_LinearEstimateBatch(benchmark::State& state) {
+  core::TrustedHmd hmd(linear_config_for(core::ModelKind::kBaggedLogistic,
+                                         static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().unknown.X;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmd.estimate_batch(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.rows()));
+}
+BENCHMARK(BM_LinearEstimateBatch)->Arg(100);
+
+void BM_ArtifactSave(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/bm_artifact.hmdf";
+  for (auto _ : state) {
+    core::save_model(hmd, path);
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ArtifactSave)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_ArtifactLoad(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/bm_artifact.hmdf";
+  core::save_model(hmd, path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::load_model(path));
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ArtifactLoad)->Arg(100)->Unit(benchmark::kMicrosecond);
 
 void BM_EnsembleFit(benchmark::State& state) {
   for (auto _ : state) {
@@ -266,6 +360,56 @@ ThroughputRow measure_throughput(int members) {
   return row;
 }
 
+/// Linear-ensemble batch throughput: the flat weight-matrix engine vs the
+/// pre-engine per-member path (the "batch cliff" this PR removed).
+struct LinearThroughputRow {
+  std::string model;
+  int members = 0;
+  double batch_flat = 0.0;       ///< detect_batch() via FlatLinearEngine
+  double batch_reference = 0.0;  ///< pre-engine per-member batch path
+  double estimate_batch = 0.0;   ///< estimate_batch() via FlatLinearEngine
+};
+
+LinearThroughputRow measure_linear_throughput(core::ModelKind kind,
+                                              int members) {
+  core::TrustedHmd hmd(linear_config_for(kind, members));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().test.X;
+  LinearThroughputRow row;
+  row.model = core::model_kind_name(kind);
+  row.members = members;
+  row.batch_flat = items_per_sec(
+      x.rows(), [&] { benchmark::DoNotOptimize(hmd.detect_batch(x)); });
+  row.batch_reference = items_per_sec(x.rows(), [&] {
+    benchmark::DoNotOptimize(reference_linear_batch(hmd, x));
+  });
+  row.estimate_batch = items_per_sec(
+      x.rows(), [&] { benchmark::DoNotOptimize(hmd.estimate_batch(x)); });
+  return row;
+}
+
+/// Train-once / serve-many: what a serving process pays to load a .hmdf
+/// artifact vs retraining the same detector from scratch.
+struct ArtifactTiming {
+  double retrain_ms = 0.0;
+  double save_ms = 0.0;
+  double load_ms = 0.0;
+};
+
+ArtifactTiming measure_artifact(int members) {
+  ArtifactTiming timing;
+  core::TrustedHmd hmd(config_for(members));
+  timing.retrain_ms = time_ms([&] { hmd.fit(bundle().train); });
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/latency_artifact_probe.hmdf";
+  timing.save_ms = time_ms([&] { core::save_model(hmd, path); });
+  timing.load_ms = time_ms([&] {
+    benchmark::DoNotOptimize(core::load_model(path));
+  });
+  std::filesystem::remove(path);
+  return timing;
+}
+
 struct CacheTiming {
   double csv_save_ms = 0.0;
   double csv_load_ms = 0.0;
@@ -294,6 +438,12 @@ void write_summary_json(const char* path) {
   for (const int members : {20, 100}) {
     rows.push_back(measure_throughput(members));
   }
+  std::vector<LinearThroughputRow> linear_rows;
+  for (const auto kind :
+       {core::ModelKind::kBaggedLogistic, core::ModelKind::kBaggedSvm}) {
+    linear_rows.push_back(measure_linear_throughput(kind, 100));
+  }
+  const ArtifactTiming artifact = measure_artifact(100);
 
   const std::string probe_dir = "bench_results";
   std::filesystem::create_directories(probe_dir);
@@ -310,7 +460,7 @@ void write_summary_json(const char* path) {
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_latency\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
   std::fprintf(out, "  \"n_train\": %zu,\n  \"n_test\": %zu,\n",
                bundle().train.size(), bundle().test.size());
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
@@ -338,6 +488,39 @@ void write_summary_json(const char* path) {
                  row.batch / row.per_sample_flat);
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"linear_throughput_items_per_sec\": [\n");
+  for (std::size_t i = 0; i < linear_rows.size(); ++i) {
+    const LinearThroughputRow& row = linear_rows[i];
+    std::fprintf(out,
+                 "    {\"model\": \"%s\", \"members\": %d, "
+                 "\"detect_batch_flat\": %.1f, "
+                 "\"detect_batch_reference\": %.1f, "
+                 "\"estimate_batch_flat\": %.1f,\n     "
+                 "\"speedup_flat_vs_reference\": %.2f}%s\n",
+                 row.model.c_str(), row.members, row.batch_flat,
+                 row.batch_reference, row.estimate_batch,
+                 row.batch_flat / row.batch_reference,
+                 i + 1 < linear_rows.size() ? "," : "");
+    std::fprintf(stderr,
+                 "[bench_latency] %s M=%d detect items/sec: reference "
+                 "member path %.0f | flat batch %.0f (%.1fx) | "
+                 "estimate batch %.0f\n",
+                 row.model.c_str(), row.members, row.batch_reference,
+                 row.batch_flat, row.batch_flat / row.batch_reference,
+                 row.estimate_batch);
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"model_artifact_ms\": {\"retrain\": %.3f, \"save\": "
+               "%.3f, \"load\": %.3f, \"speedup_load_vs_retrain\": %.1f},\n",
+               artifact.retrain_ms, artifact.save_ms, artifact.load_ms,
+               artifact.retrain_ms / artifact.load_ms);
+  std::fprintf(stderr,
+               "[bench_latency] RF M=100 artifact: retrain %.1f ms -> "
+               "save %.2f ms, load %.2f ms (load %.0fx faster than "
+               "retrain)\n",
+               artifact.retrain_ms, artifact.save_ms, artifact.load_ms,
+               artifact.retrain_ms / artifact.load_ms);
   std::fprintf(out,
                "  \"bundle_cache_ms\": {\"csv_save\": %.3f, \"csv_load\": "
                "%.3f, \"binary_save\": %.3f, \"binary_load\": %.3f, "

@@ -1,0 +1,72 @@
+#pragma once
+// Little-endian binary stream helpers shared by every on-disk artefact
+// (the `.hmdb` dataset cache and the `.hmdf` model artifact). Readers
+// throw IoError on truncation so a short file can never be misread as a
+// smaller-but-valid payload.
+
+#include <bit>
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+static_assert(std::endian::native == std::endian::little,
+              "binary artefacts assume a little-endian host");
+
+namespace hmd::io {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Read one POD value; `context` names the file in the truncation error.
+template <typename T>
+void read_pod(std::istream& in, T& value, const std::string& context) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError("truncated " + context);
+}
+
+/// Write `n` contiguous POD elements with one stream operation.
+template <typename T>
+void write_span(std::ostream& out, const T* data, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+void read_span(std::istream& in, T* data, std::size_t n,
+               const std::string& context) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw IoError("truncated " + context);
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& values) {
+  write_pod(out, static_cast<std::uint64_t>(values.size()));
+  write_span(out, values.data(), values.size());
+}
+
+/// Read a u64-prefixed vector; `max_elems` bounds the allocation so a
+/// corrupt length field cannot trigger an absurd resize.
+template <typename T>
+void read_vec(std::istream& in, std::vector<T>& values,
+              const std::string& context,
+              std::uint64_t max_elems = std::uint64_t{1} << 32) {
+  std::uint64_t n = 0;
+  read_pod(in, n, context);
+  if (n > max_elems) throw IoError("implausible element count in " + context);
+  values.resize(n);
+  read_span(in, values.data(), values.size(), context);
+}
+
+}  // namespace hmd::io

@@ -3,6 +3,7 @@
 #include <deque>
 #include <limits>
 
+#include "common/binary_io.h"
 #include "common/error.h"
 #include "core/thread_pool.h"
 #include "core/uncertainty.h"
@@ -10,104 +11,155 @@
 
 namespace hmd::core {
 
-FlatForest FlatForest::compile(const ml::Bagging& ensemble) {
-  HMD_REQUIRE(ensemble.fitted(), "FlatForest::compile: ensemble not fitted");
-  FlatForest flat;
+std::unique_ptr<FlatForestEngine> FlatForestEngine::compile(
+    const ml::Bagging& ensemble) {
+  HMD_REQUIRE(ensemble.fitted(),
+              "FlatForestEngine::compile: ensemble not fitted");
   // Every member must be a decision tree; otherwise signal "not
-  // compilable" and let the caller use the reference path.
+  // compilable" and let the caller pick another engine.
   std::vector<const ml::DecisionTree*> trees;
   trees.reserve(ensemble.n_members());
   for (std::size_t m = 0; m < ensemble.n_members(); ++m) {
     const auto* tree =
         dynamic_cast<const ml::DecisionTree*>(&ensemble.member(m));
-    if (tree == nullptr) return flat;
+    if (tree == nullptr) return nullptr;
     trees.push_back(tree);
   }
 
+  auto flat = std::make_unique<FlatForestEngine>();
+  flat->n_features_ = ensemble.n_features();
   std::size_t total_nodes = 0;
   for (const auto* tree : trees) total_nodes += tree->nodes().size();
-  flat.nodes_.reserve(total_nodes);
-  flat.leaf_entropy_.reserve(total_nodes);
-  flat.roots_.reserve(trees.size());
+  flat->nodes_.reserve(total_nodes);
+  flat->leaf_entropy_.reserve(total_nodes);
+  flat->roots_.reserve(trees.size());
 
   auto append_slot = [&flat]() {
-    flat.nodes_.emplace_back();
-    flat.leaf_entropy_.push_back(0.0);
-    return static_cast<std::int32_t>(flat.nodes_.size() - 1);
+    flat->nodes_.emplace_back();
+    flat->leaf_entropy_.push_back(0.0);
+    return static_cast<std::int32_t>(flat->nodes_.size() - 1);
   };
 
   for (std::size_t m = 0; m < trees.size(); ++m) {
     const auto& nodes = trees[m]->nodes();
     const auto& feature_map = ensemble.feature_map(m);
-    flat.roots_.push_back(append_slot());
+    flat->roots_.push_back(append_slot());
 
     // Breadth-first re-layout; both children of a node are allocated
     // together so right == left + 1 everywhere.
     std::deque<std::pair<std::int32_t, std::int32_t>> frontier;
-    frontier.emplace_back(0, flat.roots_.back());
+    frontier.emplace_back(0, flat->roots_.back());
     while (!frontier.empty()) {
       const auto [src, dst] = frontier.front();
       frontier.pop_front();
       const auto& node = nodes[static_cast<std::size_t>(src)];
       if (node.feature < 0) {
-        flat.nodes_[dst].feature = -1;
-        flat.nodes_[dst].threshold = node.p1;
-        flat.leaf_entropy_[dst] = binary_entropy(node.p1);
+        flat->nodes_[dst].feature = -1;
+        flat->nodes_[dst].threshold = node.p1;
+        flat->leaf_entropy_[dst] = binary_entropy(node.p1);
         continue;
       }
       const std::int32_t global_feature =
           feature_map.empty()
               ? node.feature
               : feature_map[static_cast<std::size_t>(node.feature)];
-      flat.nodes_[dst].feature = global_feature;
-      flat.nodes_[dst].threshold = node.threshold;
+      flat->nodes_[dst].feature = global_feature;
+      flat->nodes_[dst].threshold = node.threshold;
       const std::int32_t left = append_slot();
       append_slot();  // right child at left + 1
-      flat.nodes_[dst].left = left;
+      flat->nodes_[dst].left = left;
       frontier.emplace_back(node.left, left);
       frontier.emplace_back(node.right, left + 1);
     }
   }
 
-  // Specialise depth <= 1 trees into the stump table.
-  flat.stumps_.resize(flat.roots_.size());
-  flat.is_stump_.assign(flat.roots_.size(), 0);
-  for (std::size_t m = 0; m < flat.roots_.size(); ++m) {
-    const std::int32_t root = flat.roots_[m];
-    const Node& node = flat.nodes_[static_cast<std::size_t>(root)];
-    Stump& stump = flat.stumps_[m];
+  flat->derive_stumps();
+  return flat;
+}
+
+void FlatForestEngine::derive_stumps() {
+  stumps_.assign(roots_.size(), Stump{});
+  is_stump_.assign(roots_.size(), 0);
+  n_stumps_ = 0;
+  for (std::size_t m = 0; m < roots_.size(); ++m) {
+    const std::int32_t root = roots_[m];
+    const Node& node = nodes_[static_cast<std::size_t>(root)];
+    Stump& stump = stumps_[m];
     if (node.feature < 0) {  // single-leaf tree: select is constant
       stump.feature = 0;
       stump.threshold = std::numeric_limits<double>::infinity();
       stump.p_lo = stump.p_hi = node.threshold;
-      stump.e_lo = stump.e_hi =
-          flat.leaf_entropy_[static_cast<std::size_t>(root)];
+      stump.e_lo = stump.e_hi = leaf_entropy_[static_cast<std::size_t>(root)];
       stump.v_lo = stump.v_hi = node.threshold > 0.5 ? 1.0 : 0.0;
-      flat.is_stump_[m] = 1;
-      ++flat.n_stumps_;
+      is_stump_[m] = 1;
+      ++n_stumps_;
       continue;
     }
-    const Node& lo = flat.nodes_[static_cast<std::size_t>(node.left)];
-    const Node& hi = flat.nodes_[static_cast<std::size_t>(node.left) + 1];
+    const Node& lo = nodes_[static_cast<std::size_t>(node.left)];
+    const Node& hi = nodes_[static_cast<std::size_t>(node.left) + 1];
     if (lo.feature < 0 && hi.feature < 0) {
       stump.feature = node.feature;
       stump.threshold = node.threshold;
       stump.p_lo = lo.threshold;
       stump.p_hi = hi.threshold;
-      stump.e_lo = flat.leaf_entropy_[static_cast<std::size_t>(node.left)];
-      stump.e_hi =
-          flat.leaf_entropy_[static_cast<std::size_t>(node.left) + 1];
+      stump.e_lo = leaf_entropy_[static_cast<std::size_t>(node.left)];
+      stump.e_hi = leaf_entropy_[static_cast<std::size_t>(node.left) + 1];
       stump.v_lo = lo.threshold > 0.5 ? 1.0 : 0.0;
       stump.v_hi = hi.threshold > 0.5 ? 1.0 : 0.0;
-      flat.is_stump_[m] = 1;
-      ++flat.n_stumps_;
+      is_stump_[m] = 1;
+      ++n_stumps_;
     }
   }
+}
+
+void FlatForestEngine::save_blob(std::ostream& out) const {
+  io::write_pod(out, static_cast<std::uint64_t>(n_features_));
+  io::write_vec(out, nodes_);
+  io::write_vec(out, leaf_entropy_);
+  io::write_vec(out, roots_);
+}
+
+std::unique_ptr<FlatForestEngine> FlatForestEngine::load_blob(
+    std::istream& in, const std::string& context) {
+  auto flat = std::make_unique<FlatForestEngine>();
+  std::uint64_t n_features = 0;
+  io::read_pod(in, n_features, context);
+  if (n_features == 0 || n_features > (1u << 24))
+    throw IoError("implausible flat-forest feature width in " + context);
+  flat->n_features_ = static_cast<std::size_t>(n_features);
+  // Arena cap: 2^26 16-byte nodes is a 1 GiB model, far above any real
+  // ensemble — a corrupt length field must throw, not trigger an
+  // OOM-sized allocation.
+  constexpr std::uint64_t kMaxNodes = std::uint64_t{1} << 26;
+  io::read_vec(in, flat->nodes_, context, kMaxNodes);
+  io::read_vec(in, flat->leaf_entropy_, context, flat->nodes_.size());
+  io::read_vec(in, flat->roots_, context, flat->nodes_.size());
+  if (flat->roots_.empty() || flat->leaf_entropy_.size() != flat->nodes_.size())
+    throw IoError("inconsistent flat-forest geometry in " + context);
+  const auto n_nodes = static_cast<std::int32_t>(flat->nodes_.size());
+  // Structural validation so a corrupt arena can never be *traversed*
+  // wrong: feature indices stay inside the input row, and child links
+  // point strictly forward (the BFS re-layout guarantees this), which
+  // also guarantees every walk terminates.
+  for (std::int32_t i = 0; i < n_nodes; ++i) {
+    const Node& node = flat->nodes_[static_cast<std::size_t>(i)];
+    if (node.feature < 0) continue;
+    if (static_cast<std::uint64_t>(node.feature) >= n_features)
+      throw IoError("out-of-range feature index in " + context);
+    if (node.left <= i || node.left + 1 >= n_nodes)
+      throw IoError("out-of-arena child index in " + context);
+  }
+  for (const std::int32_t root : flat->roots_) {
+    if (root < 0 || root >= n_nodes)
+      throw IoError("out-of-arena root index in " + context);
+  }
+  flat->derive_stumps();
   return flat;
 }
 
-EnsembleStats FlatForest::stats_one(RowView x) const {
-  HMD_REQUIRE(compiled(), "FlatForest: not compiled");
+EnsembleStats FlatForestEngine::stats_one(RowView x) const {
+  HMD_REQUIRE(x.size() == n_features_,
+              "FlatForestEngine::stats_one: feature width mismatch");
   EnsembleStats stats;
   const Node* nodes = nodes_.data();
   const double* entropy = leaf_entropy_.data();
@@ -129,8 +181,9 @@ EnsembleStats FlatForest::stats_one(RowView x) const {
   return stats;
 }
 
-void FlatForest::tile_kernel(const Matrix& x, std::size_t row_begin,
-                             std::size_t row_end, EnsembleStats* out) const {
+void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
+                                   std::size_t row_end,
+                                   EnsembleStats* out) const {
   const Node* nodes = nodes_.data();
   const double* entropy = leaf_entropy_.data();
   const std::size_t tile = row_end - row_begin;
@@ -192,9 +245,13 @@ void FlatForest::tile_kernel(const Matrix& x, std::size_t row_begin,
   }
 }
 
-void FlatForest::stats_batch(const Matrix& x, ThreadPool* pool,
-                             std::vector<EnsembleStats>& out) const {
-  HMD_REQUIRE(compiled(), "FlatForest: not compiled");
+void FlatForestEngine::stats_batch(const Matrix& x, ThreadPool* pool,
+                                   std::vector<EnsembleStats>& out,
+                                   bool /*need_entropy*/) const {
+  HMD_REQUIRE(x.cols() == n_features_ || x.rows() == 0,
+              "FlatForestEngine::stats_batch: feature width mismatch");
+  // Leaf entropies are precomputed, so honouring need_entropy == false
+  // would save nothing: the accumulate is the same three adds either way.
   out.assign(x.rows(), EnsembleStats{});
   const std::size_t n_tiles = (x.rows() + kTileRows - 1) / kTileRows;
   auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {

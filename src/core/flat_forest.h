@@ -16,7 +16,7 @@
 // which makes the batched estimate path a pure accumulate — no log() on
 // the hot path.
 //
-// predict_batch traverses *tree-major over sample tiles*: for each tile of
+// stats_batch traverses *tree-major over sample tiles*: for each tile of
 // rows, every tree is walked for all rows in the tile before moving to the
 // next tree, so a tree's nodes stay cache-resident while they are reused.
 // The tile is transposed to column-major scratch first, which turns the
@@ -33,49 +33,53 @@
 // The engine is an exact re-encoding of the pointer trees: predictions,
 // vote counts and accumulated probabilities are bit-identical to the
 // reference ml::Bagging path (asserted by the parity test suite).
+//
+// Serialisation: the arena, leaf entropies and roots are the whole model —
+// save_blob() streams them and load_blob() rebuilds the engine (the stump
+// table is re-derived from the arena), so a serving process reconstructs
+// inference without any training objects.
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
+#include "core/inference_engine.h"
 #include "ml/bagging.h"
 
 namespace hmd::core {
 
-class ThreadPool;
-
-/// Per-sample ensemble sufficient statistics. sum_p1 and sum_entropy are
-/// accumulated in member order (member 0 first), matching the reference
-/// implementation exactly.
-struct EnsembleStats {
-  std::int32_t votes1 = 0;     ///< members voting class 1
-  double sum_p1 = 0.0;         ///< sum of member P(class 1)
-  double sum_entropy = 0.0;    ///< sum of member leaf entropies H(p_m)
-};
-
-class FlatForest {
+class FlatForestEngine final : public InferenceEngine {
  public:
-  /// Re-pack a trained tree ensemble. Returns an engine with n_trees() == 0
-  /// when any member is not a DecisionTree (linear ensembles fall back to
-  /// the reference path).
-  static FlatForest compile(const ml::Bagging& ensemble);
+  /// Re-pack a trained tree ensemble. Returns nullptr when any member is
+  /// not a DecisionTree (the caller should try another engine).
+  static std::unique_ptr<FlatForestEngine> compile(
+      const ml::Bagging& ensemble);
 
-  bool compiled() const { return !roots_.empty(); }
-  std::size_t n_trees() const { return roots_.size(); }
-  std::size_t n_nodes() const { return nodes_.size(); }
-  std::size_t n_stumps() const { return n_stumps_; }
-  std::size_t arena_bytes() const {
+  /// Reconstruct an engine from a save_blob() payload; `context` names the
+  /// source file in errors. Throws IoError on truncation or implausible
+  /// geometry.
+  static std::unique_ptr<FlatForestEngine> load_blob(
+      std::istream& in, const std::string& context);
+
+  std::string name() const override { return "flat_forest"; }
+  EngineId engine_id() const override { return EngineId::kFlatForest; }
+  std::size_t n_members() const override { return roots_.size(); }
+  EnsembleStats stats_one(RowView x) const override;
+  void stats_batch(const Matrix& x, ThreadPool* pool,
+                   std::vector<EnsembleStats>& out,
+                   bool need_entropy) const override;
+  void save_blob(std::ostream& out) const override;
+  std::size_t memory_bytes() const override {
     return nodes_.size() * (sizeof(Node) + sizeof(double)) +
            stumps_.size() * sizeof(Stump);
   }
 
-  /// Ensemble statistics for a single sample (member-order accumulation).
-  EnsembleStats stats_one(RowView x) const;
-
-  /// Batched statistics: tree-major over `kTileRows` sample tiles,
-  /// parallelised over `pool` when given. `out` is resized to x.rows().
-  void stats_batch(const Matrix& x, ThreadPool* pool,
-                   std::vector<EnsembleStats>& out) const;
+  std::size_t n_trees() const { return roots_.size(); }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t n_stumps() const { return n_stumps_; }
+  std::size_t n_features() const { return n_features_; }
 
   static constexpr std::size_t kTileRows = 256;
 
@@ -88,6 +92,7 @@ class FlatForest {
     std::int32_t feature = -1;
     std::int32_t left = -1;
   };
+  static_assert(sizeof(Node) == 16, "arena nodes are streamed raw");
 
   /// Specialised encoding of a depth <= 1 tree: evaluated branchlessly as
   ///   hi = !(x[feature] <= threshold);  p1 = hi ? p_hi : p_lo
@@ -105,6 +110,10 @@ class FlatForest {
     double v_lo = 0.0, v_hi = 0.0;
   };
 
+  /// Populate the stump table from the arena (used after compile and
+  /// after load, so the specialisation never needs serialising).
+  void derive_stumps();
+
   void tile_kernel(const Matrix& x, std::size_t row_begin,
                    std::size_t row_end, EnsembleStats* out) const;
 
@@ -117,6 +126,9 @@ class FlatForest {
   std::vector<Stump> stumps_;
   std::vector<std::uint8_t> is_stump_;
   std::size_t n_stumps_ = 0;
+  /// Expected input width; every node's feature index is < this (checked
+  /// at load, so a corrupt artifact can never drive out-of-bounds reads).
+  std::size_t n_features_ = 0;
 };
 
 }  // namespace hmd::core

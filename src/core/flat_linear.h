@@ -1,0 +1,109 @@
+#pragma once
+// Flattened inference engine for bagged linear members (logistic
+// regression and Platt-scaled linear SVM).
+//
+// compile() packs all M trained members into one contiguous M×d weight
+// matrix plus bias / Platt coefficient vectors, and keeps a transposed
+// (d×M) copy of the weights for the batch kernel. The engine owns the
+// standardisation moments the members were trained under, so — like every
+// InferenceEngine — it consumes raw feature rows.
+//
+// stats_batch is a blocked matrix product: for each tile of rows, each row
+// is standardised once into scratch, then the member pre-activations
+// z[m] = Σ_c w[m][c]·xs[c] are accumulated feature-major over the
+// transposed weights — the compiler vectorises across members (lanes are
+// members, each lane's additions stay in ascending feature order, so every
+// z is bit-identical to the reference dot_row). The link function then
+// runs per member in ascending order, reproducing the reference
+// expressions verbatim:
+//
+//   LR :  p = 1 / (1 + exp(-(z + bias)))
+//   SVM:  p = 1 / (1 + exp(-t)),  t = -(platt_a·(z + bias) + platt_b)
+//
+// Two exactness shortcuts keep the hot path cheap without breaking
+// bit-parity (proofs in the .cpp):
+//   t >= 40   ⇒ p == 1.0 exactly (exp(-t) < 2^-53 vanishes into 1 + ε)
+//   t <= -745 ⇒ p == 0.0 exactly (exp(-t) overflows to +inf)
+// and when the caller does not need sum_entropy (vote-entropy detection),
+// the per-member log() pair of binary_entropy is skipped entirely —
+// that term is simply never read.
+//
+// Tiles are distributed over the thread pool; each tile writes a disjoint
+// output range, so results are deterministic for any worker count.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/inference_engine.h"
+#include "ml/bagging.h"
+#include "ml/preprocessing.h"
+
+namespace hmd::core {
+
+class FlatLinearEngine final : public InferenceEngine {
+ public:
+  /// Which link function the members use. A compiled engine is
+  /// homogeneous — mixed ensembles fall back to the reference path.
+  enum class MemberKind : std::uint8_t { kLogistic = 0, kSvm = 1 };
+
+  /// Pack a trained bagged LR / SVM ensemble. Returns nullptr when any
+  /// member is not a linear model of a single kind, or when members were
+  /// trained on feature subspaces (feature_fraction < 1) — the dense
+  /// re-expansion would perturb accumulation order.
+  static std::unique_ptr<FlatLinearEngine> compile(
+      const ml::Bagging& ensemble, const ml::StandardScaler& scaler);
+
+  /// Reconstruct from a save_blob() payload (standardisation moments
+  /// included); throws IoError on truncation or inconsistent geometry.
+  static std::unique_ptr<FlatLinearEngine> load_blob(
+      std::istream& in, const std::string& context);
+
+  std::string name() const override {
+    return kind_ == MemberKind::kLogistic ? "flat_linear_lr"
+                                          : "flat_linear_svm";
+  }
+  EngineId engine_id() const override { return EngineId::kFlatLinear; }
+  std::size_t n_members() const override { return n_members_; }
+  EnsembleStats stats_one(RowView x) const override;
+  void stats_batch(const Matrix& x, ThreadPool* pool,
+                   std::vector<EnsembleStats>& out,
+                   bool need_entropy) const override;
+  void save_blob(std::ostream& out) const override;
+  std::size_t memory_bytes() const override {
+    return (weights_.size() + weights_t_.size() + bias_.size() +
+            platt_a_.size() + platt_b_.size() + means_.size() +
+            scales_.size()) *
+           sizeof(double);
+  }
+
+  MemberKind member_kind() const { return kind_; }
+  std::size_t n_features() const { return n_features_; }
+
+  static constexpr std::size_t kTileRows = 256;
+
+ private:
+  /// Rebuild the feature-major weights_t_ copy from the member-major
+  /// weights_ (after compile and after load, so the two paths can never
+  /// diverge on the batch-kernel layout).
+  void rebuild_transpose();
+
+  template <bool kNeedEntropy>
+  void tile_kernel(const Matrix& x, std::size_t row_begin,
+                   std::size_t row_end, EnsembleStats* out) const;
+
+  MemberKind kind_ = MemberKind::kLogistic;
+  std::size_t n_members_ = 0;
+  std::size_t n_features_ = 0;
+  std::vector<double> weights_;    ///< member-major M×d (serialised form)
+  std::vector<double> weights_t_;  ///< feature-major d×M (batch kernel)
+  std::vector<double> bias_;       ///< per-member intercept
+  std::vector<double> platt_a_;    ///< SVM Platt slope (unused for LR)
+  std::vector<double> platt_b_;    ///< SVM Platt offset (unused for LR)
+  std::vector<double> means_;      ///< standardisation means
+  std::vector<double> scales_;     ///< standardisation scales
+};
+
+}  // namespace hmd::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "core/flat_linear.h"
 
 namespace hmd::core {
 
@@ -15,10 +16,43 @@ std::string model_kind_name(ModelKind kind) {
   throw InvalidArgument("model_kind_name: bad kind");
 }
 
-UntrustedHmd::UntrustedHmd(HmdConfig config) : config_(std::move(config)) {
-  HMD_REQUIRE(config_.n_members >= 1, "HmdConfig: n_members must be >= 1");
-  HMD_REQUIRE(config_.entropy_threshold >= 0.0,
+namespace {
+
+void validate_config(const HmdConfig& config) {
+  HMD_REQUIRE(config.n_members >= 1, "HmdConfig: n_members must be >= 1");
+  HMD_REQUIRE(config.entropy_threshold >= 0.0,
               "HmdConfig: entropy_threshold must be >= 0");
+}
+
+/// A pool only pays for itself with real workers; at an effective width
+/// of one every batch runs inline on the caller.
+std::unique_ptr<ThreadPool> make_pool(int n_threads) {
+  if (ThreadPool::effective_threads(n_threads) == 1) return nullptr;
+  return std::make_unique<ThreadPool>(n_threads);
+}
+
+}  // namespace
+
+UntrustedHmd::UntrustedHmd(HmdConfig config) : config_(std::move(config)) {
+  validate_config(config_);
+}
+
+UntrustedHmd::UntrustedHmd(HmdConfig config,
+                           std::unique_ptr<InferenceEngine> engine,
+                           ml::StandardScaler scaler,
+                           double converged_fraction)
+    : config_(std::move(config)),
+      pool_(make_pool(config_.n_threads)),
+      engine_(std::move(engine)),
+      vote_lut_(config_.n_members),
+      scaler_(std::move(scaler)),
+      serving_converged_fraction_(converged_fraction) {
+  validate_config(config_);
+  HMD_REQUIRE(engine_ != nullptr, "UntrustedHmd: serving engine is null");
+  HMD_REQUIRE(engine_->n_members() ==
+                  static_cast<std::size_t>(config_.n_members),
+              "UntrustedHmd: engine/config member count mismatch");
+  scale_inputs_ = config_.model != ModelKind::kRandomForest;
 }
 
 ml::ClassifierFactory UntrustedHmd::member_factory() const {
@@ -44,12 +78,27 @@ ml::ClassifierFactory UntrustedHmd::member_factory() const {
   throw InvalidArgument("UntrustedHmd: bad model kind");
 }
 
+std::unique_ptr<InferenceEngine> UntrustedHmd::compile_engine() const {
+  switch (config_.model) {
+    case ModelKind::kRandomForest:
+      return FlatForestEngine::compile(*ensemble_);
+    case ModelKind::kBaggedLogistic:
+    case ModelKind::kBaggedSvm:
+      return FlatLinearEngine::compile(*ensemble_, scaler_);
+  }
+  return nullptr;
+}
+
 void UntrustedHmd::fit(const ml::Dataset& train) {
   HMD_REQUIRE(train.size() > 1, "UntrustedHmd::fit: need >= 2 samples");
-  pool_ = std::make_unique<ThreadPool>(config_.n_threads);
+  HMD_REQUIRE(engine_ == nullptr || ensemble_ != nullptr,
+              "UntrustedHmd::fit: serving-only detector cannot be re-fit");
+  pool_ = make_pool(config_.n_threads);
 
   // Linear members need standardised inputs; trees see raw features so
-  // the flat engine can traverse dataset rows in place.
+  // the flat engine can traverse dataset rows in place. (The compiled
+  // linear engine owns a copy of these moments and standardises
+  // internally — every engine consumes raw rows.)
   scale_inputs_ = config_.model != ModelKind::kRandomForest;
   const Matrix* fit_x = &train.X;
   Matrix scaled;
@@ -63,15 +112,30 @@ void UntrustedHmd::fit(const ml::Dataset& train) {
   params.seed = config_.seed;
   params.n_threads = config_.n_threads;
   ensemble_ = std::make_unique<ml::Bagging>(member_factory(), params);
+  // pool_ is null at an effective width of one; Bagging's own fallback
+  // pool is then also workerless, so members fit inline on the caller.
   ensemble_->fit(*fit_x, train.y, pool_.get());
 
-  flat_ = FlatForest::compile(*ensemble_);
+  engine_ = compile_engine();
   vote_lut_ = VoteEntropyTable(config_.n_members);
 }
 
 const ml::Bagging& UntrustedHmd::ensemble() const {
-  HMD_REQUIRE(fitted(), "UntrustedHmd: not fitted");
+  HMD_REQUIRE(fitted(), "UntrustedHmd: no reference ensemble "
+                        "(serving-only or unfitted detector)");
   return *ensemble_;
+}
+
+const InferenceEngine& UntrustedHmd::engine() const {
+  HMD_REQUIRE(engine_ != nullptr, "UntrustedHmd: no compiled engine");
+  return *engine_;
+}
+
+const FlatForestEngine& UntrustedHmd::flat_forest() const {
+  const auto* forest = dynamic_cast<const FlatForestEngine*>(&engine());
+  HMD_REQUIRE(forest != nullptr,
+              "UntrustedHmd: engine is not a FlatForestEngine");
+  return *forest;
 }
 
 bool UntrustedHmd::converged() const {
@@ -79,13 +143,14 @@ bool UntrustedHmd::converged() const {
 }
 
 double UntrustedHmd::converged_fraction() const {
-  HMD_REQUIRE(fitted(), "UntrustedHmd: not fitted");
+  HMD_REQUIRE(ready(), "UntrustedHmd: not fitted");
+  if (!fitted()) return serving_converged_fraction_;
   return ensemble_->converged_fraction();
 }
 
 EnsembleStats UntrustedHmd::stats_one(RowView x) const {
-  HMD_REQUIRE(fitted(), "UntrustedHmd: detect before fit");
-  if (flat_.compiled()) return flat_.stats_one(x);
+  HMD_REQUIRE(ready(), "UntrustedHmd: detect before fit");
+  if (engine_ != nullptr) return engine_->stats_one(x);
   std::vector<double> scaled;
   if (scale_inputs_) {
     scaler_.transform_row(x, scaled);
@@ -97,10 +162,11 @@ EnsembleStats UntrustedHmd::stats_one(RowView x) const {
 }
 
 void UntrustedHmd::stats_batch(const Matrix& x,
-                               std::vector<EnsembleStats>& out) const {
-  HMD_REQUIRE(fitted(), "UntrustedHmd: detect before fit");
-  if (flat_.compiled()) {
-    flat_.stats_batch(x, pool_.get(), out);
+                               std::vector<EnsembleStats>& out,
+                               bool need_entropy) const {
+  HMD_REQUIRE(ready(), "UntrustedHmd: detect before fit");
+  if (engine_ != nullptr) {
+    engine_->stats_batch(x, pool_.get(), out, need_entropy);
     return;
   }
   const Matrix scaled = scale_inputs_ ? scaler_.transform(x) : Matrix();
@@ -138,7 +204,7 @@ Detection UntrustedHmd::detect(RowView x) const {
 
 std::vector<Detection> UntrustedHmd::detect_batch(const Matrix& x) const {
   std::vector<EnsembleStats> stats;
-  stats_batch(x, stats);
+  stats_batch(x, stats, uncertainty_mode_needs_entropy(config_.mode));
   std::vector<Detection> out;
   out.reserve(stats.size());
   for (const auto& s : stats) out.push_back(detection_from_stats(s));
@@ -174,7 +240,7 @@ Estimate TrustedHmd::estimate(RowView x) const {
 
 std::vector<Estimate> TrustedHmd::estimate_batch(const Matrix& x) const {
   std::vector<EnsembleStats> stats;
-  stats_batch(x, stats);
+  stats_batch(x, stats, /*need_entropy=*/true);
   std::vector<Estimate> out;
   out.reserve(stats.size());
   for (const auto& s : stats) out.push_back(estimate_from_stats(s));
@@ -184,7 +250,7 @@ std::vector<Estimate> TrustedHmd::estimate_batch(const Matrix& x) const {
 std::vector<double> TrustedHmd::scores(const Matrix& x,
                                        UncertaintyMode mode) const {
   std::vector<EnsembleStats> stats;
-  stats_batch(x, stats);
+  stats_batch(x, stats, uncertainty_mode_needs_entropy(mode));
   std::vector<double> out;
   out.reserve(stats.size());
   for (const auto& s : stats) {

@@ -9,12 +9,20 @@
 //                  ensemble scores and flags whether the prediction is
 //                  trustworthy under the configured threshold.
 //
-// Inference spine: after fit(), tree ensembles are compiled into the flat
-// struct-of-arrays engine (core/flat_forest.h); detect()/estimate() and
-// the batched detect_batch()/estimate_batch() all route through it. The
-// batch entry points traverse tree-major over sample tiles and are
-// parallelised by a reusable thread pool sized by HmdConfig::n_threads.
-// Linear ensembles (LR / SVM bagging) use the reference member path.
+// Inference spine: after fit(), the trained ensemble is compiled into a
+// pluggable InferenceEngine (core/inference_engine.h) — tree ensembles
+// into the flat struct-of-arrays FlatForestEngine, bagged LR / SVM into
+// the FlatLinearEngine weight-matrix engine — and detect()/estimate()
+// plus the batched detect_batch()/estimate_batch() all route through it.
+// Batch entry points are parallelised by a reusable thread pool sized by
+// HmdConfig::n_threads. The reference ml::Bagging member path is retained
+// for parity testing and as a fallback for exotic ensembles.
+//
+// Train-once / serve-many: save_model()/load_model()
+// (core/model_artifact.h) persist config + scaler + engine as a `.hmdf`
+// artifact; a detector loaded from one is *serving-only* — it carries an
+// engine but no ml::Bagging and cannot be re-fit, yet emits bit-identical
+// detections and estimates.
 
 #include <cstdint>
 #include <memory>
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "core/flat_forest.h"
+#include "core/inference_engine.h"
 #include "core/thread_pool.h"
 #include "core/uncertainty.h"
 #include "ml/bagging.h"
@@ -81,15 +90,25 @@ struct Estimate {
 class UntrustedHmd {
  public:
   explicit UntrustedHmd(HmdConfig config);
-  virtual ~UntrustedHmd() = default;
 
-  /// Train the ensemble (and compile the flat engine for tree models).
+  /// Serving-only construction: adopt a pre-compiled engine (typically
+  /// from a `.hmdf` artifact) with no training ensemble behind it.
+  /// `converged_fraction` is the value recorded at training time.
+  UntrustedHmd(HmdConfig config, std::unique_ptr<InferenceEngine> engine,
+               ml::StandardScaler scaler, double converged_fraction);
+
+  virtual ~UntrustedHmd() = default;
+  UntrustedHmd(UntrustedHmd&&) = default;
+  UntrustedHmd& operator=(UntrustedHmd&&) = default;
+
+  /// Train the ensemble and compile the inference engine. Not available
+  /// on serving-only detectors.
   void fit(const ml::Dataset& train);
 
   /// Classify one sample.
   Detection detect(RowView x) const;
 
-  /// Classify every row of x through the batched tile path.
+  /// Classify every row of x through the batched engine path.
   std::vector<Detection> detect_batch(const Matrix& x) const;
 
   /// True when every member's training converged.
@@ -98,35 +117,60 @@ class UntrustedHmd {
 
   const HmdConfig& config() const { return config_; }
   /// The trained reference ensemble (parity tests compare against it).
+  /// Throws on serving-only detectors — they have none by design.
   const ml::Bagging& ensemble() const;
-  /// Is inference routed through the flat struct-of-arrays engine?
-  bool uses_flat_engine() const { return flat_.compiled(); }
-  const FlatForest& flat_forest() const { return flat_; }
+  /// Does this detector carry a reference training ensemble? (false for
+  /// detectors reconstructed from a model artifact).
+  bool has_ensemble() const { return ensemble_ != nullptr; }
+  /// Is inference routed through a compiled flat engine?
+  bool uses_flat_engine() const { return engine_ != nullptr; }
+  /// The compiled engine; throws when inference is on the reference path.
+  const InferenceEngine& engine() const;
+  /// The compiled engine as a FlatForestEngine (tree models only; the
+  /// parity suite inspects arena geometry through this).
+  const FlatForestEngine& flat_forest() const;
+  /// Standardisation owned by the detector (fitted for linear models).
+  const ml::StandardScaler& input_scaler() const { return scaler_; }
 
  protected:
   EnsembleStats stats_one(RowView x) const;
-  void stats_batch(const Matrix& x, std::vector<EnsembleStats>& out) const;
+  /// Batched stats; `need_entropy` says whether callers will read
+  /// sum_entropy (engines may skip entropy work otherwise).
+  void stats_batch(const Matrix& x, std::vector<EnsembleStats>& out,
+                   bool need_entropy) const;
   Detection detection_from_stats(const EnsembleStats& stats) const;
+  /// Has a usable inference path (engine or reference ensemble)?
+  bool ready() const { return engine_ != nullptr || fitted(); }
   bool fitted() const { return ensemble_ != nullptr && ensemble_->fitted(); }
   int n_members() const { return config_.n_members; }
   const VoteEntropyTable* vote_lut() const { return &vote_lut_; }
+  ThreadPool* pool() const { return pool_.get(); }
 
   HmdConfig config_;
 
  private:
   ml::ClassifierFactory member_factory() const;
+  std::unique_ptr<InferenceEngine> compile_engine() const;
 
   std::unique_ptr<ml::Bagging> ensemble_;
   std::unique_ptr<ThreadPool> pool_;
-  FlatForest flat_;
+  std::unique_ptr<InferenceEngine> engine_;
   VoteEntropyTable vote_lut_;
   ml::StandardScaler scaler_;
   bool scale_inputs_ = false;
+  /// Training-time convergence, carried by serving-only detectors.
+  double serving_converged_fraction_ = 1.0;
 };
 
 class TrustedHmd : public UntrustedHmd {
  public:
   explicit TrustedHmd(HmdConfig config) : UntrustedHmd(std::move(config)) {}
+
+  /// Serving-only construction (see UntrustedHmd).
+  TrustedHmd(HmdConfig config, std::unique_ptr<InferenceEngine> engine,
+             ml::StandardScaler scaler, double converged_fraction)
+      : UntrustedHmd(std::move(config), std::move(engine), std::move(scaler),
+                     converged_fraction) {}
 
   /// Full uncertainty estimate for one sample.
   Estimate estimate(RowView x) const;

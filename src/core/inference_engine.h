@@ -1,0 +1,79 @@
+#pragma once
+// The pluggable inference spine. After training, an ensemble is compiled
+// into an InferenceEngine — a self-contained, trainer-free representation
+// that produces the per-sample EnsembleStats every Detection and Estimate
+// is derived from. Engines consume *raw* feature rows (an engine that
+// needs standardised inputs owns its scaler) so callers never have to know
+// which preprocessing a model family requires.
+//
+// Implementations:
+//   FlatForestEngine  (core/flat_forest.h) — tree ensembles re-packed into
+//                     a struct-of-arrays node arena.
+//   FlatLinearEngine  (core/flat_linear.h) — bagged LR / SVM members
+//                     compiled into one contiguous M×d weight matrix.
+//
+// Every engine serialises itself into the `.hmdf` model artifact
+// (core/model_artifact.h): `engine_id()` tags the blob on disk and
+// `save_blob()` writes it; the artifact loader dispatches on the tag to
+// the matching engine's load routine, reconstructing a serving-only
+// detector with no ml::Bagging (and no training code) on the path.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace hmd::core {
+
+class ThreadPool;
+
+/// Per-sample ensemble sufficient statistics. sum_p1 and sum_entropy are
+/// accumulated in member order (member 0 first), matching the reference
+/// implementation exactly.
+struct EnsembleStats {
+  std::int32_t votes1 = 0;     ///< members voting class 1
+  double sum_p1 = 0.0;         ///< sum of member P(class 1)
+  double sum_entropy = 0.0;    ///< sum of member entropies H(p_m)
+};
+
+/// On-disk engine tags (u32 in the `.hmdf` blob header). Never reuse a
+/// retired value.
+enum class EngineId : std::uint32_t {
+  kFlatForest = 1,
+  kFlatLinear = 2,
+};
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  /// Short display name, e.g. "flat_forest".
+  virtual std::string name() const = 0;
+  virtual EngineId engine_id() const = 0;
+  virtual std::size_t n_members() const = 0;
+
+  /// Full ensemble statistics (votes, posterior sum, entropy sum) for a
+  /// single raw-feature sample, accumulated in member order — bit-identical
+  /// to the reference member-by-member path.
+  virtual EnsembleStats stats_one(RowView x) const = 0;
+
+  /// Batched statistics for every row of `x`, parallelised over `pool`
+  /// when given; `out` is resized to x.rows(). When `need_entropy` is
+  /// false the caller never reads sum_entropy (e.g. vote-entropy
+  /// detection) and the engine may leave it zero to skip per-member
+  /// entropy work; votes and posterior sums are always exact.
+  virtual void stats_batch(const Matrix& x, ThreadPool* pool,
+                           std::vector<EnsembleStats>& out,
+                           bool need_entropy) const = 0;
+
+  /// Serialise the engine payload (everything after the artifact's
+  /// engine-id tag) to `out`.
+  virtual void save_blob(std::ostream& out) const = 0;
+
+  /// Bytes of model state touched on the hot path (arena, weight matrix).
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+}  // namespace hmd::core

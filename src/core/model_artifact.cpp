@@ -1,0 +1,148 @@
+#include "core/model_artifact.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "common/error.h"
+#include "core/flat_forest.h"
+#include "core/flat_linear.h"
+
+namespace hmd::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'M', 'D', 'F'};
+
+bool header_matches(std::istream& in) {
+  char magic[4] = {};
+  std::uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+         version == kModelFormatVersion;
+}
+
+}  // namespace
+
+std::string model_path(const std::string& stem) { return stem + ".hmdf"; }
+
+bool model_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return header_matches(in);
+}
+
+void save_model(const UntrustedHmd& hmd, const std::string& path) {
+  HMD_REQUIRE(hmd.uses_flat_engine(),
+              "save_model: detector has no compiled engine");
+  const InferenceEngine& engine = hmd.engine();
+  const HmdConfig& config = hmd.config();
+
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path());
+  }
+  // Write to a sibling temp file and rename into place, so an interrupted
+  // save never leaves a half-written artifact under the real name.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("save_model: cannot open " + tmp_path);
+    out.write(kMagic, sizeof(kMagic));
+    io::write_pod(out, kModelFormatVersion);
+
+    io::write_pod(out, static_cast<std::uint32_t>(config.model));
+    io::write_pod(out, static_cast<std::int32_t>(config.n_members));
+    io::write_pod(out, static_cast<std::uint32_t>(config.mode));
+    io::write_pod(out, config.entropy_threshold);
+    io::write_pod(out, config.seed);
+    io::write_pod(out, static_cast<std::int32_t>(config.tree_min_samples_leaf));
+    io::write_pod(out, static_cast<std::int32_t>(config.tree_max_depth));
+    io::write_pod(out, hmd.converged_fraction());
+
+    const ml::StandardScaler& scaler = hmd.input_scaler();
+    const std::uint8_t has_scaler = scaler.fitted() ? 1 : 0;
+    io::write_pod(out, has_scaler);
+    if (has_scaler) {
+      io::write_pod(out, static_cast<std::uint64_t>(scaler.means().size()));
+      io::write_span(out, scaler.means().data(), scaler.means().size());
+      io::write_span(out, scaler.scales().data(), scaler.scales().size());
+    }
+
+    io::write_pod(out, static_cast<std::uint32_t>(engine.engine_id()));
+    engine.save_blob(out);
+    if (!out) throw IoError("save_model: write failed for " + tmp_path);
+  }
+  std::filesystem::rename(tmp_path, path);
+}
+
+TrustedHmd load_model(const std::string& path, int n_threads) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("load_model: missing artifact " + path);
+  if (!header_matches(in)) {
+    throw IoError("load_model: bad magic or version mismatch in " + path +
+                  " (expected v" + std::to_string(kModelFormatVersion) + ")");
+  }
+
+  HmdConfig config;
+  std::uint32_t model_kind = 0, mode = 0;
+  std::int32_t n_members = 0, min_leaf = 1, max_depth = 0;
+  double converged_fraction = 1.0;
+  io::read_pod(in, model_kind, path);
+  io::read_pod(in, n_members, path);
+  io::read_pod(in, mode, path);
+  io::read_pod(in, config.entropy_threshold, path);
+  io::read_pod(in, config.seed, path);
+  io::read_pod(in, min_leaf, path);
+  io::read_pod(in, max_depth, path);
+  io::read_pod(in, converged_fraction, path);
+  if (model_kind > static_cast<std::uint32_t>(ModelKind::kBaggedSvm))
+    throw IoError("load_model: unknown model kind in " + path);
+  if (mode > static_cast<std::uint32_t>(UncertaintyMode::kMaxProbability))
+    throw IoError("load_model: unknown uncertainty mode in " + path);
+  if (n_members < 1)
+    throw IoError("load_model: implausible member count in " + path);
+  config.model = static_cast<ModelKind>(model_kind);
+  config.n_members = n_members;
+  config.mode = static_cast<UncertaintyMode>(mode);
+  config.tree_min_samples_leaf = min_leaf;
+  config.tree_max_depth = max_depth;
+  config.n_threads = n_threads;
+
+  ml::StandardScaler scaler;
+  std::uint8_t has_scaler = 0;
+  io::read_pod(in, has_scaler, path);
+  if (has_scaler) {
+    std::uint64_t d = 0;
+    io::read_pod(in, d, path);
+    if (d == 0 || d > (1u << 24))
+      throw IoError("load_model: implausible scaler width in " + path);
+    std::vector<double> means(d), scales(d);
+    io::read_span(in, means.data(), means.size(), path);
+    io::read_span(in, scales.data(), scales.size(), path);
+    scaler = ml::StandardScaler::from_moments(std::move(means),
+                                              std::move(scales));
+  }
+
+  std::uint32_t engine_id = 0;
+  io::read_pod(in, engine_id, path);
+  std::unique_ptr<InferenceEngine> engine;
+  switch (static_cast<EngineId>(engine_id)) {
+    case EngineId::kFlatForest:
+      engine = FlatForestEngine::load_blob(in, path);
+      break;
+    case EngineId::kFlatLinear:
+      engine = FlatLinearEngine::load_blob(in, path);
+      break;
+    default:
+      throw IoError("load_model: unknown engine id " +
+                    std::to_string(engine_id) + " in " + path);
+  }
+
+  return TrustedHmd(std::move(config), std::move(engine), std::move(scaler),
+                    converged_fraction);
+}
+
+}  // namespace hmd::core

@@ -1,0 +1,49 @@
+#pragma once
+// Versioned on-disk model artifact — the train-once / serve-many split.
+//
+// Format v1: a single little-endian binary file (`<stem>.hmdf`) holding
+// everything a serving process needs and nothing the trainer used,
+// mirroring the `.hmdb` dataset-cache design in datasets/io.h:
+//
+//   magic "HMDF" | u32 version
+//   config: u32 model_kind | i32 n_members | u32 uncertainty_mode
+//           f64 entropy_threshold | u64 seed | i32 tree_min_samples_leaf
+//           i32 tree_max_depth | f64 converged_fraction
+//   scaler: u8 has_scaler | [u64 d | f64 means[d] | f64 scales[d]]
+//   engine: u32 engine_id | engine blob (see the engine's save_blob)
+//
+// save_model() streams a fitted detector's compiled engine; load_model()
+// reconstructs a *serving-only* TrustedHmd straight from the engine blob —
+// no ml::Bagging, no base learners, no training code on the path — whose
+// detections and estimates are bit-identical to the detector that was
+// saved. Writes are atomic (temp file + rename). Loaders throw IoError on
+// missing files, bad magic, version mismatch, unknown engine tags, or
+// truncation.
+
+#include <string>
+
+#include "core/hmd.h"
+
+namespace hmd::core {
+
+/// Current artifact version. Bump when the layout changes.
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Path of the model artifact for a stem ("<stem>.hmdf").
+std::string model_path(const std::string& stem);
+
+/// True iff an artifact exists at `path` *and* carries the current
+/// magic/version — stale artifacts look absent so callers re-train.
+bool model_exists(const std::string& path);
+
+/// Persist a fitted detector (config + scaler + compiled engine) to
+/// `path`. The detector must be using a flat engine.
+void save_model(const UntrustedHmd& hmd, const std::string& path);
+
+/// Reconstruct a serving-only detector from an artifact. `n_threads`
+/// sizes the serving thread pool (<= 0 = all cores) — it intentionally
+/// does not come from the artifact, since the training host's core count
+/// is meaningless to the serving host.
+TrustedHmd load_model(const std::string& path, int n_threads = 0);
+
+}  // namespace hmd::core

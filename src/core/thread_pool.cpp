@@ -4,10 +4,16 @@
 
 namespace hmd::core {
 
+std::size_t ThreadPool::effective_threads(int n_threads) {
+  return n_threads > 0
+             ? static_cast<std::size_t>(n_threads)
+             : std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(int n_threads) {
-  std::size_t total = n_threads > 0
-                          ? static_cast<std::size_t>(n_threads)
-                          : std::max(1u, std::thread::hardware_concurrency());
+  // Effective width 1 spawns nothing: the pool stays inline-only and
+  // parallel_for never touches the queue machinery.
+  const std::size_t total = effective_threads(n_threads);
   workers_.reserve(total - 1);
   for (std::size_t i = 0; i + 1 < total; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -54,8 +60,10 @@ void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  // Inline fast path: a workerless pool (or a single work item) runs the
+  // whole range on the caller — no lock, no queue, no condition variable.
   const std::size_t n_lanes = std::min(size(), n);
-  if (n_lanes == 1) {
+  if (inline_only() || n_lanes == 1) {
     body(0, n);
     return;
   }

@@ -23,7 +23,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// The lane count a pool built with `n_threads` would use (resolves the
+  /// <= 0 = all-cores convention). Callers can skip building a pool
+  /// entirely when this is 1 — the single-lane path is pure inline.
+  static std::size_t effective_threads(int n_threads);
+
   std::size_t size() const { return workers_.size() + 1; }
+
+  /// True when the pool spawned no workers (effective width 1, e.g. the
+  /// 1-core CI host): every parallel_for runs inline on the caller with
+  /// no queue, locks, or wakeups.
+  bool inline_only() const { return workers_.empty(); }
 
   /// Run body(begin, end) over [0, n) split into contiguous chunks, one
   /// per worker plus the calling thread; blocks until all chunks finish.

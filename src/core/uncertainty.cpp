@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "core/flat_forest.h"
+#include "core/inference_engine.h"
 
 namespace hmd::core {
 

@@ -25,6 +25,15 @@ enum class UncertaintyMode {
 
 std::string uncertainty_mode_name(UncertaintyMode mode);
 
+/// Does scoring under `mode` read EnsembleStats::sum_entropy? Callers that
+/// only need votes / posterior sums pass this to the engine batch path so
+/// it can skip per-member entropy work (a log() pair per member for
+/// engines without precomputed leaf entropies).
+inline bool uncertainty_mode_needs_entropy(UncertaintyMode mode) {
+  return mode == UncertaintyMode::kExpectedEntropy ||
+         mode == UncertaintyMode::kMutualInformation;
+}
+
 /// Binary entropy H(p) in nats; H(0) = H(1) = 0.
 inline double binary_entropy(double p) {
   if (p <= 0.0 || p >= 1.0) return 0.0;

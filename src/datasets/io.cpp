@@ -1,16 +1,13 @@
 #include "datasets/io.h"
 
-#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/binary_io.h"
 #include "common/error.h"
-
-static_assert(std::endian::native == std::endian::little,
-              "the binary bundle cache assumes a little-endian host");
 
 namespace hmd::data {
 
@@ -25,59 +22,40 @@ void ensure_parent(const std::string& path) {
   }
 }
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-void read_pod(std::ifstream& in, T& value, const std::string& path) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw IoError("load_bundle: truncated cache " + path);
-}
-
 void write_split(std::ofstream& out, const ml::Dataset& split) {
   const auto rows = static_cast<std::uint64_t>(split.X.rows());
   const auto cols = static_cast<std::uint64_t>(split.X.cols());
   const std::uint8_t has_apps = split.app_ids.empty() ? 0 : 1;
-  write_pod(out, rows);
-  write_pod(out, cols);
-  write_pod(out, has_apps);
-  out.write(reinterpret_cast<const char*>(split.X.storage().data()),
-            static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  io::write_pod(out, rows);
+  io::write_pod(out, cols);
+  io::write_pod(out, has_apps);
+  io::write_span(out, split.X.storage().data(), rows * cols);
   std::vector<std::int32_t> labels(split.y.begin(), split.y.end());
-  out.write(reinterpret_cast<const char*>(labels.data()),
-            static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+  io::write_span(out, labels.data(), labels.size());
   if (has_apps) {
     std::vector<std::int32_t> apps(split.app_ids.begin(),
                                    split.app_ids.end());
-    out.write(reinterpret_cast<const char*>(apps.data()),
-              static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+    io::write_span(out, apps.data(), apps.size());
   }
 }
 
 ml::Dataset read_split(std::ifstream& in, const std::string& path) {
+  const std::string context = "cache " + path;
   std::uint64_t rows = 0, cols = 0;
   std::uint8_t has_apps = 0;
-  read_pod(in, rows, path);
-  read_pod(in, cols, path);
-  read_pod(in, has_apps, path);
+  io::read_pod(in, rows, context);
+  io::read_pod(in, cols, context);
+  io::read_pod(in, has_apps, context);
   ml::Dataset split;
   std::vector<double> storage(rows * cols);
-  in.read(reinterpret_cast<char*>(storage.data()),
-          static_cast<std::streamsize>(rows * cols * sizeof(double)));
-  if (!in) throw IoError("load_bundle: truncated cache " + path);
+  io::read_span(in, storage.data(), storage.size(), context);
   split.X = Matrix::from_storage(rows, cols, std::move(storage));
   std::vector<std::int32_t> labels(rows);
-  in.read(reinterpret_cast<char*>(labels.data()),
-          static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
-  if (!in) throw IoError("load_bundle: truncated cache " + path);
+  io::read_span(in, labels.data(), labels.size(), context);
   split.y.assign(labels.begin(), labels.end());
   if (has_apps) {
     std::vector<std::int32_t> apps(rows);
-    in.read(reinterpret_cast<char*>(apps.data()),
-            static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
-    if (!in) throw IoError("load_bundle: truncated cache " + path);
+    io::read_span(in, apps.data(), apps.size(), context);
     split.app_ids.assign(apps.begin(), apps.end());
   }
   return split;
@@ -112,9 +90,9 @@ void save_bundle(const DatasetBundle& bundle, const std::string& stem) {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) throw IoError("save_bundle: cannot open " + tmp_path);
     out.write(kMagic, sizeof(kMagic));
-    write_pod(out, kBundleFormatVersion);
+    io::write_pod(out, kBundleFormatVersion);
     const std::uint32_t n_splits = 3;
-    write_pod(out, n_splits);
+    io::write_pod(out, n_splits);
     write_split(out, bundle.train);
     write_split(out, bundle.test);
     write_split(out, bundle.unknown);
@@ -133,7 +111,7 @@ DatasetBundle load_bundle(const std::string& name, const std::string& stem) {
                   ")");
   }
   std::uint32_t n_splits = 0;
-  read_pod(in, n_splits, path);
+  io::read_pod(in, n_splits, "cache " + path);
   if (n_splits != 3) {
     throw IoError("load_bundle: unexpected split count in " + path);
   }

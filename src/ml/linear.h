@@ -58,6 +58,13 @@ class LinearSvm : public Classifier {
   double decision_value(RowView x) const;
   double final_mean_hinge() const { return mean_hinge_; }
 
+  // Trained-model export, consumed by the flat linear inference engine
+  // (core/flat_linear.h) when it packs members into its weight matrix.
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  double platt_a() const { return platt_a_; }
+  double platt_b() const { return platt_b_; }
+
  private:
   LinearModelParams params_;
   std::vector<double> weights_;

@@ -28,6 +28,18 @@ class StandardScaler {
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& scales() const { return scales_; }
 
+  /// Rebuild a scaler from previously learned moments (model-artifact
+  /// loading) without re-seeing any training data.
+  static StandardScaler from_moments(std::vector<double> means,
+                                     std::vector<double> scales) {
+    HMD_REQUIRE(means.size() == scales.size(),
+                "StandardScaler::from_moments: size mismatch");
+    StandardScaler scaler;
+    scaler.means_ = std::move(means);
+    scaler.scales_ = std::move(scales);
+    return scaler;
+  }
+
  private:
   std::vector<double> means_;
   std::vector<double> scales_;

@@ -137,19 +137,23 @@ TEST(FlatForestParity, BatchIsDeterministicAcrossThreadCounts) {
   }
 }
 
-TEST(FlatForestParity, LinearEnsembleFallsBackToReferencePath) {
-  core::HmdConfig config = config_for(10);
-  config.model = core::ModelKind::kBaggedLogistic;
-  core::TrustedHmd hmd(config);
-  hmd.fit(test::small_dvfs().train);
-  EXPECT_FALSE(hmd.uses_flat_engine());
-  // Batch and per-sample must still agree through the reference path.
-  const Matrix& x = test::small_dvfs().test.X;
-  const auto batch = hmd.detect_batch(x);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto one = hmd.detect(x.row(r));
-    EXPECT_EQ(batch[r].prediction, one.prediction);
-    EXPECT_EQ(batch[r].score, one.score);
+TEST(FlatForestParity, EveryModelKindReportsAFlatEngineTruthfully) {
+  // Since the pluggable-engine refactor no ModelKind falls back to the
+  // per-member pointer path: trees compile to FlatForestEngine, linear
+  // ensembles to FlatLinearEngine, and uses_flat_engine() must say so.
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic,
+        core::ModelKind::kBaggedSvm}) {
+    SCOPED_TRACE(core::model_kind_name(kind));
+    core::HmdConfig config = config_for(10);
+    config.model = kind;
+    core::TrustedHmd hmd(config);
+    hmd.fit(test::small_dvfs().train);
+    EXPECT_TRUE(hmd.uses_flat_engine());
+    EXPECT_EQ(hmd.engine().n_members(), 10u);
+    const bool is_tree = kind == core::ModelKind::kRandomForest;
+    EXPECT_EQ(hmd.engine().engine_id() == core::EngineId::kFlatForest,
+              is_tree);
   }
 }
 

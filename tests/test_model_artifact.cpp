@@ -1,0 +1,199 @@
+// Model artifact (.hmdf): a saved detector must reload as a serving-only
+// detector — no ml::Bagging on the path — emitting bit-identical
+// Detections and Estimates; corrupt, truncated, or version-mismatched
+// artifacts must be rejected loudly, never misread.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "core/hmd.h"
+#include "core/model_artifact.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace hmd;
+
+class ModelArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path("test_model_tmp");
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "detector.hmdf").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Overwrite one byte of the artifact at `offset`.
+  void corrupt_byte(std::uintmax_t offset, char value) {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&value, 1);
+  }
+
+  core::TrustedHmd train(core::ModelKind kind, int members = 25) {
+    core::HmdConfig config;
+    config.model = kind;
+    config.n_members = members;
+    config.seed = 9;
+    core::TrustedHmd hmd(config);
+    hmd.fit(test::small_dvfs().train);
+    return hmd;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+void expect_bit_identical_outputs(const core::TrustedHmd& trained,
+                                  const core::TrustedHmd& served,
+                                  const Matrix& x) {
+  const auto want_d = trained.detect_batch(x);
+  const auto got_d = served.detect_batch(x);
+  const auto want_e = trained.estimate_batch(x);
+  const auto got_e = served.estimate_batch(x);
+  ASSERT_EQ(got_d.size(), want_d.size());
+  ASSERT_EQ(got_e.size(), want_e.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    SCOPED_TRACE("row " + std::to_string(r));
+    EXPECT_EQ(got_d[r].prediction, want_d[r].prediction);
+    EXPECT_EQ(got_d[r].confidence, want_d[r].confidence);
+    EXPECT_EQ(got_d[r].score, want_d[r].score);
+    EXPECT_EQ(got_d[r].trusted, want_d[r].trusted);
+    EXPECT_EQ(got_e[r].votes_malware, want_e[r].votes_malware);
+    EXPECT_EQ(got_e[r].vote_entropy, want_e[r].vote_entropy);
+    EXPECT_EQ(got_e[r].soft_entropy, want_e[r].soft_entropy);
+    EXPECT_EQ(got_e[r].expected_entropy, want_e[r].expected_entropy);
+    EXPECT_EQ(got_e[r].mutual_information, want_e[r].mutual_information);
+    EXPECT_EQ(got_e[r].variation_ratio, want_e[r].variation_ratio);
+    EXPECT_EQ(got_e[r].max_probability, want_e[r].max_probability);
+
+    // Per-sample serving path too, not just batches.
+    const auto one_want = trained.detect(x.row(r));
+    const auto one_got = served.detect(x.row(r));
+    EXPECT_EQ(one_got.prediction, one_want.prediction);
+    EXPECT_EQ(one_got.score, one_want.score);
+  }
+}
+
+TEST_F(ModelArtifactTest, RoundTripIsBitIdenticalForEveryModelKind) {
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic,
+        core::ModelKind::kBaggedSvm}) {
+    SCOPED_TRACE(core::model_kind_name(kind));
+    const core::TrustedHmd trained = train(kind);
+    core::save_model(trained, path_);
+    ASSERT_TRUE(core::model_exists(path_));
+
+    const core::TrustedHmd served = core::load_model(path_);
+    // The load path reconstructs the engine directly from the blob: no
+    // reference ensemble (and no training objects) exist behind it.
+    EXPECT_FALSE(served.has_ensemble());
+    EXPECT_TRUE(served.uses_flat_engine());
+    EXPECT_THROW(served.ensemble(), InvalidArgument);
+    EXPECT_EQ(served.config().n_members, trained.config().n_members);
+    EXPECT_EQ(served.config().model, trained.config().model);
+    EXPECT_EQ(served.converged_fraction(), trained.converged_fraction());
+
+    expect_bit_identical_outputs(trained, served, test::small_dvfs().test.X);
+    expect_bit_identical_outputs(trained, served,
+                                 test::small_dvfs().unknown.X);
+  }
+}
+
+TEST_F(ModelArtifactTest, HpcBundleRoundTripsToo) {
+  core::HmdConfig config;
+  config.model = core::ModelKind::kBaggedLogistic;
+  config.n_members = 15;
+  core::TrustedHmd trained(config);
+  trained.fit(test::small_hpc().train);
+  core::save_model(trained, path_);
+  const core::TrustedHmd served = core::load_model(path_);
+  expect_bit_identical_outputs(trained, served, test::small_hpc().test.X);
+}
+
+TEST_F(ModelArtifactTest, ServingDetectorCannotBeRefit) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  core::TrustedHmd served = core::load_model(path_);
+  EXPECT_THROW(served.fit(test::small_dvfs().train), InvalidArgument);
+}
+
+TEST_F(ModelArtifactTest, MissingArtifactLooksAbsentAndThrows) {
+  EXPECT_FALSE(core::model_exists(path_));
+  EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, BadMagicIsRejectedNotMisread) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  corrupt_byte(0, 'X');
+  EXPECT_FALSE(core::model_exists(path_));
+  EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, VersionMismatchIsRejectedNotMisread) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  // The u32 version sits right after the 4-byte magic; a future (or
+  // corrupt) version must make the artifact look absent so callers
+  // re-train rather than misread the layout.
+  corrupt_byte(4, static_cast<char>(core::kModelFormatVersion + 1));
+  EXPECT_FALSE(core::model_exists(path_));
+  EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, UnknownEngineTagIsRejected) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  // Format v1, tree model: engine id is a u32 at offset 8 (magic+version)
+  // + 44 (config block) + 1 (has_scaler = 0 for trees).
+  corrupt_byte(53, 0x7e);
+  EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, CorruptForestFeatureWidthIsRejected) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  // Format v1, tree model: the forest blob's u64 feature width starts at
+  // offset 57 (header 8 + config 44 + has_scaler 1 + engine id 4).
+  // Zeroing its low byte makes the width implausible; the loader must
+  // throw rather than hand the traversal an arena it could misindex.
+  corrupt_byte(57, 0);
+  EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, ServedDetectorRejectsWrongWidthInputs) {
+  // A DVFS-trained forest (14 features) must refuse HPC rows (8
+  // features) instead of reading out of bounds.
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  const core::TrustedHmd served = core::load_model(path_);
+  EXPECT_THROW(served.detect_batch(test::small_hpc().test.X),
+               InvalidArgument);
+  EXPECT_THROW(served.detect(test::small_hpc().test.X.row(0)),
+               InvalidArgument);
+}
+
+TEST_F(ModelArtifactTest, TruncatedArtifactThrowsEverywhere) {
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic}) {
+    SCOPED_TRACE(core::model_kind_name(kind));
+    core::save_model(train(kind, 10), path_);
+    const auto full = std::filesystem::file_size(path_);
+    // Chop the file at several depths: inside the engine blob, inside the
+    // scaler/config, and just past the header. Every cut must throw.
+    for (const auto keep :
+         {full - 4, full / 2, full / 4, std::uintmax_t{16}}) {
+      std::filesystem::resize_file(path_, keep);
+      EXPECT_TRUE(core::model_exists(path_));  // header still advertises
+      EXPECT_THROW(core::load_model(path_), IoError) << "kept " << keep;
+      core::save_model(train(kind, 10), path_);  // restore for next cut
+    }
+  }
+}
+
+TEST_F(ModelArtifactTest, ModelPathAppendsSuffix) {
+  EXPECT_EQ(core::model_path("models/dvfs_rf"), "models/dvfs_rf.hmdf");
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/thread_pool.h"
@@ -42,11 +43,30 @@ TEST(ThreadPool, ZeroItemsIsANoop) {
 TEST(ThreadPool, SingleWorkerRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.size(), 1u);
+  // Effective width 1 spawns no workers at all: every parallel_for runs
+  // on the caller with no queue, locks, or wakeups — and the body must
+  // observe the caller's thread id to prove it.
+  EXPECT_TRUE(pool.inline_only());
+  const auto caller = std::this_thread::get_id();
   std::vector<int> hits(10, 0);
   pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
     for (std::size_t i = begin; i < end; ++i) ++hits[i];
   });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPool, EffectiveThreadsResolvesAllCoresConvention) {
+  EXPECT_EQ(ThreadPool::effective_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::effective_threads(5), 5u);
+  EXPECT_GE(ThreadPool::effective_threads(0), 1u);
+  EXPECT_GE(ThreadPool::effective_threads(-3), 1u);
+}
+
+TEST(ThreadPool, MultiWorkerPoolIsNotInlineOnly) {
+  ThreadPool pool(3);
+  EXPECT_FALSE(pool.inline_only());
+  EXPECT_EQ(pool.size(), 3u);
 }
 
 TEST(ThreadPool, PropagatesBodyException) {

@@ -1,0 +1,134 @@
+// hmd_serve — the "serve many" half of the train-once / serve-many split.
+//
+// Loads a `.hmdf` model artifact into a serving-only detector (no
+// ml::Bagging, no training code on the path) and streams batched
+// detect/estimate traffic over a dataset bundle, reporting sustained
+// throughput and the trust/rejection mix. This is the deployment shape of
+// the ROADMAP north star: models are trained elsewhere (hmd_train),
+// shipped as artifacts, and scored here at batch rates.
+//
+// usage: hmd_serve <model.hmdf> [--dataset=dvfs|hpc] [--batches=N]
+//                  [--threads=N] [--scale=F] [--estimate]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "core/hmd.h"
+#include "core/model_artifact.h"
+
+namespace {
+
+using namespace hmd;
+using clock_type = std::chrono::steady_clock;
+
+[[noreturn]] void usage_error(const std::string& flag) {
+  std::fprintf(stderr,
+               "hmd_serve: bad argument '%s'\n"
+               "usage: hmd_serve <model.hmdf> [--dataset=dvfs|hpc] "
+               "[--batches=N] [--threads=N] [--scale=F] [--estimate]\n",
+               flag.c_str());
+  std::exit(2);
+}
+
+struct ServeArgs {
+  std::string artifact;
+  std::string dataset = "dvfs";
+  int batches = 200;
+  bool estimate = false;  ///< stream estimate_batch instead of detect_batch
+  bench::BenchOptions options;
+};
+
+ServeArgs parse_args(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--dataset=", 0) == 0) {
+      args.dataset = value_of("--dataset=");
+      if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
+    } else if (arg.rfind("--batches=", 0) == 0) {
+      args.batches = std::atoi(value_of("--batches=").c_str());
+      if (args.batches < 1) usage_error(arg);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.options.n_threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      args.options.scale = std::atof(value_of("--scale=").c_str());
+      if (args.options.scale <= 0.0 || args.options.scale > 16.0)
+        usage_error(arg);
+    } else if (arg == "--estimate") {
+      args.estimate = true;
+    } else if (arg.rfind("--", 0) == 0 || !args.artifact.empty()) {
+      usage_error(arg);
+    } else {
+      args.artifact = arg;
+    }
+  }
+  if (args.artifact.empty()) usage_error("<missing model.hmdf>");
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeArgs args = parse_args(argc, argv);
+
+  auto start = clock_type::now();
+  const core::TrustedHmd hmd =
+      core::load_model(args.artifact, args.options.n_threads);
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(clock_type::now() - start)
+          .count();
+  std::printf("loaded   %s in %.2f ms: %s x%d, engine %s (%zu KiB), "
+              "training convergence %.0f%%, no ensemble resident: %s\n",
+              args.artifact.c_str(), load_ms,
+              core::model_kind_name(hmd.config().model).c_str(),
+              hmd.config().n_members, hmd.engine().name().c_str(),
+              hmd.engine().memory_bytes() / 1024,
+              100.0 * hmd.converged_fraction(),
+              hmd.has_ensemble() ? "NO (unexpected)" : "yes");
+
+  const data::DatasetBundle bundle = args.dataset == "dvfs"
+                                         ? bench::dvfs_bundle(args.options)
+                                         : bench::hpc_bundle(args.options);
+  const Matrix& x = bundle.test.X;
+
+  std::size_t flagged = 0, rejected = 0;
+  start = clock_type::now();
+  for (int b = 0; b < args.batches; ++b) {
+    if (args.estimate) {
+      const auto estimates = hmd.estimate_batch(x);
+      for (const auto& e : estimates) {
+        flagged += e.prediction == 1;
+        rejected += !e.trusted;
+      }
+    } else {
+      const auto detections = hmd.detect_batch(x);
+      for (const auto& d : detections) {
+        flagged += d.prediction == 1;
+        rejected += !d.trusted;
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+  const auto items =
+      static_cast<std::size_t>(args.batches) * x.rows();
+  std::printf("served   %zu %s over %d batches of %zu rows in %.3f s "
+              "= %.0f items/s\n",
+              items, args.estimate ? "estimates" : "detections",
+              args.batches, x.rows(), seconds,
+              static_cast<double>(items) / seconds);
+  std::printf("traffic  %.1f%% flagged malware, %.1f%% rejected as "
+              "untrustworthy (threshold %.2f)\n",
+              100.0 * static_cast<double>(flagged) /
+                  static_cast<double>(items),
+              100.0 * static_cast<double>(rejected) /
+                  static_cast<double>(items),
+              hmd.config().entropy_threshold);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// hmd_train — the "train once" half of the train-once / serve-many split.
+//
+// Builds (or loads from cache) a dataset bundle, trains a detector, and
+// serialises it as a versioned `.hmdf` model artifact
+// (core/model_artifact.h). The artifact is then re-loaded and spot-checked
+// against the in-memory detector so a freshly written file is never
+// shipped unverified. Serving happens elsewhere (hmd_serve) with no
+// training code on the path.
+//
+// usage: hmd_train [--dataset=dvfs|hpc] [--model=rf|lr|svm] [--members=N]
+//                  [--threads=N] [--scale=F] [--seed=N] [--out=PATH]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.h"
+#include "core/hmd.h"
+#include "core/model_artifact.h"
+
+namespace {
+
+using namespace hmd;
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+[[noreturn]] void usage_error(const std::string& flag) {
+  std::fprintf(stderr,
+               "hmd_train: bad argument '%s'\n"
+               "usage: hmd_train [--dataset=dvfs|hpc] [--model=rf|lr|svm] "
+               "[--members=N] [--threads=N] [--scale=F] [--seed=N] "
+               "[--out=PATH]\n",
+               flag.c_str());
+  std::exit(2);
+}
+
+struct TrainArgs {
+  std::string dataset = "dvfs";
+  core::ModelKind model = core::ModelKind::kRandomForest;
+  bench::BenchOptions options;
+  std::string out;
+};
+
+TrainArgs parse_args(int argc, char** argv) {
+  TrainArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--dataset=", 0) == 0) {
+      args.dataset = value_of("--dataset=");
+      if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
+    } else if (arg.rfind("--model=", 0) == 0) {
+      const std::string name = value_of("--model=");
+      if (name == "rf") args.model = core::ModelKind::kRandomForest;
+      else if (name == "lr") args.model = core::ModelKind::kBaggedLogistic;
+      else if (name == "svm") args.model = core::ModelKind::kBaggedSvm;
+      else usage_error(arg);
+    } else if (arg.rfind("--members=", 0) == 0) {
+      args.options.n_members = std::atoi(value_of("--members=").c_str());
+      if (args.options.n_members < 1) usage_error(arg);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.options.n_threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      args.options.scale = std::atof(value_of("--scale=").c_str());
+      if (args.options.scale <= 0.0 || args.options.scale > 16.0)
+        usage_error(arg);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      const auto seed =
+          static_cast<std::uint64_t>(std::atoll(value_of("--seed=").c_str()));
+      args.options.dvfs_seed = seed;
+      args.options.hpc_seed = seed;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args.out = value_of("--out=");
+    } else {
+      usage_error(arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TrainArgs args = parse_args(argc, argv);
+  const data::DatasetBundle bundle = args.dataset == "dvfs"
+                                         ? bench::dvfs_bundle(args.options)
+                                         : bench::hpc_bundle(args.options);
+  if (args.out.empty()) {
+    args.out = "models/" + bundle.name + "_" +
+               core::model_kind_name(args.model) + "_M" +
+               std::to_string(args.options.n_members) + ".hmdf";
+  }
+
+  core::HmdConfig config = bench::paper_config(args.options, args.model);
+  core::TrustedHmd hmd(config);
+
+  auto start = clock_type::now();
+  hmd.fit(bundle.train);
+  const double fit_ms = ms_since(start);
+  std::printf("trained  %s x%d on %s (%zu samples): %.1f ms, "
+              "converged %.0f%%, engine %s\n",
+              core::model_kind_name(args.model).c_str(), config.n_members,
+              bundle.name.c_str(), bundle.train.size(), fit_ms,
+              100.0 * hmd.converged_fraction(), hmd.engine().name().c_str());
+
+  start = clock_type::now();
+  core::save_model(hmd, args.out);
+  const double save_ms = ms_since(start);
+  const auto bytes = std::filesystem::file_size(args.out);
+  std::printf("saved    %s: %ju bytes in %.2f ms\n", args.out.c_str(),
+              static_cast<std::uintmax_t>(bytes), save_ms);
+
+  // Never ship an unverified artifact: reload and demand bit-identical
+  // outputs on the held-out split.
+  start = clock_type::now();
+  const core::TrustedHmd served = core::load_model(args.out);
+  const double load_ms = ms_since(start);
+  const auto want = hmd.estimate_batch(bundle.test.X);
+  const auto got = served.estimate_batch(bundle.test.X);
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    if (want[r].prediction != got[r].prediction ||
+        want[r].votes_malware != got[r].votes_malware ||
+        want[r].score != got[r].score ||
+        want[r].soft_entropy != got[r].soft_entropy) {
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "hmd_train: artifact verification FAILED: %zu of %zu "
+                 "estimates differ from the in-memory detector\n",
+                 mismatches, want.size());
+    return 1;
+  }
+  std::printf("verified %s: reloaded in %.2f ms (%.0fx faster than "
+              "retraining), %zu/%zu estimates bit-identical\n",
+              args.out.c_str(), load_ms, fit_ms / load_ms, want.size(),
+              want.size());
+  return 0;
+}
