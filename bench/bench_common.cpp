@@ -30,6 +30,10 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     } else if (arg.rfind("--members=", 0) == 0) {
       options.n_members = std::stoi(value_of("--members="));
       HMD_REQUIRE(options.n_members >= 1, "--members must be >= 1");
+    } else if (arg.rfind("--model=", 0) == 0) {
+      const auto kind = core::parse_model_kind(value_of("--model="));
+      HMD_REQUIRE(kind.has_value(), "--model must be rf, lr, or svm");
+      options.model = *kind;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.n_threads = std::stoi(value_of("--threads="));
       HMD_REQUIRE(options.n_threads >= 0,
@@ -37,7 +41,7 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     } else if (arg == "--no-cache") {
       options.use_cache = false;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "flags: --scale=<f in (0,16]> --seed=<n> --members=<n> "
+      std::cout << "flags: --scale=<f in (0,16]> --seed=<n> --members=<n> --model=<rf|lr|svm> "
                    "--threads=<n, 0 = all cores> --no-cache\n";
       std::exit(0);
     } else {
@@ -133,6 +137,10 @@ core::HmdConfig paper_config(const BenchOptions& options,
   config.mode = core::UncertaintyMode::kVoteEntropy;
   config.seed = 99;
   return config;
+}
+
+core::HmdConfig paper_config(const BenchOptions& options) {
+  return paper_config(options, options.model);
 }
 
 std::string ascii_boxplot(const BoxplotStats& stats, double lo, double hi,

@@ -13,6 +13,8 @@
 //                  *up* for throughput stress runs (default 1.0)
 //   --seed=<n>     dataset generation seed override
 //   --members=<n>  ensemble size M (default 100)
+//   --model=<s>    detector family rf|lr|svm (default rf) for benches
+//                  that take the family from the options
 //   --threads=<n>  worker threads for fit and batched inference
 //                  (0 = all cores, the default)
 //   --no-cache     force regeneration, do not touch the cache
@@ -35,6 +37,8 @@ struct BenchOptions {
   std::uint64_t hpc_seed = 13;
   int n_members = 100;
   int n_threads = 0;
+  /// Detector family for benches that take it from the options (--model).
+  core::ModelKind model = core::ModelKind::kRandomForest;
   bool use_cache = true;
   std::string cache_dir = "dataset_cache";
 };
@@ -57,6 +61,9 @@ data::DatasetBundle hpc_bundle(const BenchOptions& options);
 /// HmdConfig preset matching the paper's setup (M members, vote entropy).
 core::HmdConfig paper_config(const BenchOptions& options,
                              core::ModelKind kind);
+
+/// Same preset with the family taken from options.model (--model).
+core::HmdConfig paper_config(const BenchOptions& options);
 
 /// Render one boxplot row as an ASCII strip over [0, ln 2].
 std::string ascii_boxplot(const BoxplotStats& stats, double lo, double hi,

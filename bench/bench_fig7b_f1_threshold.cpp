@@ -1,6 +1,7 @@
 // Regenerates Fig. 7b of the paper: F1 score on the known test split as a
-// function of the entropy rejection threshold, for RF on the DVFS dataset
-// and RF on the HPC dataset.
+// function of the entropy rejection threshold, on the DVFS and HPC
+// datasets. The paper uses RF; --model=lr|svm re-runs the sweep for the
+// other detector families.
 //
 // Paper shape: RF-DVFS starts high (~0.95+) and is flat — rejection cannot
 // improve an already-clean dataset much. RF-HPC starts around 0.8 at loose
@@ -13,11 +14,12 @@
 
 int main(int argc, char** argv) {
   using namespace hmd;
-  using core::ModelKind;
   const auto options = bench::parse_bench_args(argc, argv);
 
+  const std::string name = core::model_kind_name(options.model);
   bench::print_header(
-      "Fig. 7b — F1 vs entropy threshold (RF-DVFS and RF-HPC)",
+      "Fig. 7b — F1 vs entropy threshold (" + name + "-DVFS and " + name +
+          "-HPC)",
       "F1 over the accepted subset of the known test split");
 
   const auto thresholds = core::threshold_grid(0.05, 0.85, 17);
@@ -28,15 +30,13 @@ int main(int argc, char** argv) {
   std::vector<core::F1CurvePoint> dvfs_curve, hpc_curve;
   {
     const auto bundle = bench::dvfs_bundle(options);
-    core::TrustedHmd hmd(
-        bench::paper_config(options, ModelKind::kRandomForest));
+    core::TrustedHmd hmd(bench::paper_config(options));
     hmd.fit(bundle.train);
     dvfs_curve = core::f1_vs_threshold(hmd, bundle.test, thresholds);
   }
   {
     const auto bundle = bench::hpc_bundle(options);
-    core::TrustedHmd hmd(
-        bench::paper_config(options, ModelKind::kRandomForest));
+    core::TrustedHmd hmd(bench::paper_config(options));
     hmd.fit(bundle.train);
     hpc_curve = core::f1_vs_threshold(hmd, bundle.test, thresholds);
   }

@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/detector_registry.h"
+#include "api/score.h"
 #include "core/flat_forest.h"
 #include "core/hmd.h"
 #include "core/model_artifact.h"
@@ -217,6 +219,57 @@ void BM_LinearEstimateBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearEstimateBatch)->Arg(100);
 
+/// The unified score() spine under different OutputMasks: what a serving
+/// loop pays for hard labels only vs the full Estimate family. range(0) =
+/// M, range(1) = model (0 rf / 1 lr / 2 svm), range(2) = mask (0
+/// prediction-only / 1 detection / 2 full estimate).
+void BM_MaskedScore(benchmark::State& state) {
+  static const core::ModelKind kinds[] = {core::ModelKind::kRandomForest,
+                                          core::ModelKind::kBaggedLogistic,
+                                          core::ModelKind::kBaggedSvm};
+  static const api::OutputMask masks[] = {
+      api::kPredictionOnly, api::kDetectionOutputs, api::kEstimateOutputs};
+  core::TrustedHmd hmd(linear_config_for(
+      kinds[state.range(1)], static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  api::ScoreRequest request;
+  request.x = &bundle().test.X;
+  request.outputs = masks[state.range(2)];
+  api::ScoreResult result;  // reused: the loop body allocates nothing
+  hmd.score(request, result);
+  for (auto _ : state) {
+    hmd.score(request, result);
+    benchmark::DoNotOptimize(result.prediction.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bundle().test.X.rows()));
+}
+BENCHMARK(BM_MaskedScore)
+    ->Args({100, 0, 0})
+    ->Args({100, 0, 2})
+    ->Args({100, 1, 0})
+    ->Args({100, 1, 2})
+    ->Args({100, 2, 0})
+    ->Args({100, 2, 2});
+
+/// Steady-state cost of a DetectorRegistry snapshot lookup (the per-batch
+/// overhead hmd_serve pays for hot-swappability).
+void BM_RegistryLookup(benchmark::State& state) {
+  core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
+  hmd.fit(bundle().train);
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/bm_registry.hmdf";
+  core::save_model(hmd, path);
+  api::DetectorRegistry registry(1);
+  registry.add("model", path);
+  registry.get("model");  // pay the lazy load outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.get("model"));
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RegistryLookup)->Arg(100);
+
 void BM_ArtifactSave(benchmark::State& state) {
   core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
   hmd.fit(bundle().train);
@@ -388,6 +441,69 @@ LinearThroughputRow measure_linear_throughput(core::ModelKind kind,
   return row;
 }
 
+/// Masked score() throughput per model family: the cheapest useful
+/// request (prediction only) vs the Detection-shaped mask vs the full
+/// Estimate family, all through one spine with one reused ScoreResult.
+struct MaskedScoreRow {
+  std::string model;
+  int members = 0;
+  double prediction_only = 0.0;  ///< api::kPredictionOnly items/sec
+  double detection = 0.0;        ///< api::kDetectionOutputs items/sec
+  double full_estimate = 0.0;    ///< api::kEstimateOutputs items/sec
+};
+
+MaskedScoreRow measure_masked_score(core::ModelKind kind, int members) {
+  core::TrustedHmd hmd(linear_config_for(kind, members));
+  hmd.fit(bundle().train);
+  const auto& x = bundle().test.X;
+  api::ScoreRequest request;
+  request.x = &x;
+  api::ScoreResult result;
+  MaskedScoreRow row;
+  row.model = core::model_kind_name(kind);
+  row.members = members;
+  const auto throughput = [&](api::OutputMask outputs) {
+    request.outputs = outputs;
+    return items_per_sec(x.rows(), [&] {
+      hmd.score(request, result);
+      benchmark::DoNotOptimize(result.prediction.data());
+    });
+  };
+  row.prediction_only = throughput(api::kPredictionOnly);
+  row.detection = throughput(api::kDetectionOutputs);
+  row.full_estimate = throughput(api::kEstimateOutputs);
+  return row;
+}
+
+/// Registry overheads: the snapshot lookup a serving loop pays per batch
+/// and the no-op refresh() a hot-swap poll pays per interval.
+struct RegistryTiming {
+  double lookup_ns = 0.0;
+  double refresh_noop_ns = 0.0;
+};
+
+RegistryTiming measure_registry(int members) {
+  core::TrustedHmd hmd(config_for(members));
+  hmd.fit(bundle().train);
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/latency_registry_probe.hmdf";
+  core::save_model(hmd, path);
+  api::DetectorRegistry registry(1);
+  registry.add("model", path);
+  registry.get("model");
+  RegistryTiming timing;
+  timing.lookup_ns =
+      1e9 / items_per_sec(1, [&] {
+        benchmark::DoNotOptimize(registry.get("model"));
+      }, /*min_seconds=*/0.1);
+  timing.refresh_noop_ns =
+      1e9 / items_per_sec(1, [&] {
+        benchmark::DoNotOptimize(registry.refresh());
+      }, /*min_seconds=*/0.1);
+  std::filesystem::remove(path);
+  return timing;
+}
+
 /// Train-once / serve-many: what a serving process pays to load a .hmdf
 /// artifact vs retraining the same detector from scratch.
 struct ArtifactTiming {
@@ -443,6 +559,13 @@ void write_summary_json(const char* path) {
        {core::ModelKind::kBaggedLogistic, core::ModelKind::kBaggedSvm}) {
     linear_rows.push_back(measure_linear_throughput(kind, 100));
   }
+  std::vector<MaskedScoreRow> masked_rows;
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic,
+        core::ModelKind::kBaggedSvm}) {
+    masked_rows.push_back(measure_masked_score(kind, 100));
+  }
+  const RegistryTiming registry = measure_registry(100);
   const ArtifactTiming artifact = measure_artifact(100);
 
   const std::string probe_dir = "bench_results";
@@ -460,7 +583,7 @@ void write_summary_json(const char* path) {
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_latency\",\n");
-  std::fprintf(out, "  \"schema_version\": 2,\n");
+  std::fprintf(out, "  \"schema_version\": 3,\n");
   std::fprintf(out, "  \"n_train\": %zu,\n  \"n_test\": %zu,\n",
                bundle().train.size(), bundle().test.size());
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
@@ -510,6 +633,35 @@ void write_summary_json(const char* path) {
                  row.estimate_batch);
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"masked_score_items_per_sec\": [\n");
+  for (std::size_t i = 0; i < masked_rows.size(); ++i) {
+    const MaskedScoreRow& row = masked_rows[i];
+    std::fprintf(out,
+                 "    {\"model\": \"%s\", \"members\": %d, "
+                 "\"prediction_only\": %.1f, \"detection\": %.1f, "
+                 "\"full_estimate\": %.1f,\n     "
+                 "\"speedup_prediction_vs_estimate\": %.2f}%s\n",
+                 row.model.c_str(), row.members, row.prediction_only,
+                 row.detection, row.full_estimate,
+                 row.prediction_only / row.full_estimate,
+                 i + 1 < masked_rows.size() ? "," : "");
+    std::fprintf(stderr,
+                 "[bench_latency] %s M=%d score() items/sec: prediction-only "
+                 "%.0f | detection %.0f | full estimate %.0f "
+                 "(prediction %.1fx vs estimate)\n",
+                 row.model.c_str(), row.members, row.prediction_only,
+                 row.detection, row.full_estimate,
+                 row.prediction_only / row.full_estimate);
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"registry_ns\": {\"lookup\": %.1f, \"refresh_noop\": "
+               "%.1f},\n",
+               registry.lookup_ns, registry.refresh_noop_ns);
+  std::fprintf(stderr,
+               "[bench_latency] registry: snapshot lookup %.0f ns, no-op "
+               "refresh %.0f ns\n",
+               registry.lookup_ns, registry.refresh_noop_ns);
   std::fprintf(out,
                "  \"model_artifact_ms\": {\"retrain\": %.3f, \"save\": "
                "%.3f, \"load\": %.3f, \"speedup_load_vs_retrain\": %.1f},\n",

@@ -1,0 +1,142 @@
+#include "api/detector_registry.h"
+
+#include <sys/stat.h>
+
+#include "common/error.h"
+#include "core/model_artifact.h"
+
+namespace hmd::api {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Identity stat of `path` (zeroed when the file is unreachable). The
+/// inode is the load-bearing field: save_model publishes via temp file +
+/// rename, so every legitimate swap lands on a *new* inode even when the
+/// replacement has the same byte count and an mtime inside the
+/// filesystem's timestamp granularity (bagged linear artifacts of a fixed
+/// (M, d) are always the same size). mtime + size still catch in-place
+/// rewrites by foreign writers.
+ArtifactStat stat_artifact(const std::string& path) {
+  struct ::stat st = {};
+  if (::stat(path.c_str(), &st) != 0 || st.st_size <= 0) return {};
+#if defined(__APPLE__)
+  const auto& mtime = st.st_mtimespec;  // BSD spelling of st_mtim
+#else
+  const auto& mtime = st.st_mtim;
+#endif
+  ArtifactStat out;
+  out.inode = static_cast<std::uint64_t>(st.st_ino);
+  out.mtime_ns = static_cast<std::int64_t>(mtime.tv_sec) * 1000000000 +
+                 static_cast<std::int64_t>(mtime.tv_nsec);
+  out.bytes = static_cast<std::uintmax_t>(st.st_size);
+  return out;
+}
+
+}  // namespace
+
+void DetectorRegistry::add(const std::string& key, const std::string& path) {
+  HMD_REQUIRE(!key.empty(), "DetectorRegistry::add: empty key");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key];
+  entry.path = path;
+  entry.detector = nullptr;  // force a lazy (re)load from the new path
+  entry.stat = {};
+}
+
+std::size_t DetectorRegistry::add_directory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    throw IoError("DetectorRegistry: not a directory: " + dir);
+  }
+  // Non-throwing overloads throughout: an entry vanishing or failing to
+  // stat mid-scan is skipped, never an escape of std::filesystem_error
+  // past the documented IoError surface.
+  fs::directory_iterator it(dir, ec);
+  if (ec) throw IoError("DetectorRegistry: cannot scan " + dir);
+  std::size_t added = 0;
+  for (const auto& item : it) {
+    if (!item.is_regular_file(ec) || ec) continue;
+    const fs::path& path = item.path();
+    if (path.extension() != ".hmdf") continue;
+    add(path.stem().string(), path.string());
+    ++added;
+  }
+  return added;
+}
+
+void DetectorRegistry::load_locked(Entry& entry) const {
+  const ArtifactStat stat = stat_artifact(entry.path);
+  entry.detector = std::make_shared<const core::TrustedHmd>(
+      core::load_model(entry.path, n_threads_));
+  entry.stat = stat;
+}
+
+std::shared_ptr<const core::TrustedHmd> DetectorRegistry::get(
+    const std::string& key) {
+  auto detector = try_get(key);
+  if (detector == nullptr) {
+    throw IoError("DetectorRegistry: unknown model key '" + key + "'");
+  }
+  return detector;
+}
+
+std::shared_ptr<const core::TrustedHmd> DetectorRegistry::try_get(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.detector == nullptr) load_locked(it->second);
+  return it->second.detector;
+}
+
+std::vector<std::string> DetectorRegistry::refresh() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> reloaded;
+  for (auto& [key, entry] : entries_) {
+    if (entry.detector == nullptr) continue;  // still lazy; nothing to swap
+    const ArtifactStat stat = stat_artifact(entry.path);
+    if (stat.bytes == 0) continue;  // vanished: keep the last good snapshot
+    if (stat == entry.stat) continue;
+    try {
+      load_locked(entry);
+      reloaded.push_back(key);
+    } catch (const HmdError&) {
+      // Unreadable or invalid replacement (a foreign writer without the
+      // atomic rename discipline, or a well-formed file carrying a config
+      // the detector rejects): keep serving the previous snapshot and let
+      // a later refresh() retry — the stale stat fields guarantee it will.
+    }
+  }
+  return reloaded;
+}
+
+std::vector<std::string> DetectorRegistry::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+std::string DetectorRegistry::path(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw IoError("DetectorRegistry: unknown model key '" + key + "'");
+  }
+  return it->second.path;
+}
+
+std::size_t DetectorRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool DetectorRegistry::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+}  // namespace hmd::api

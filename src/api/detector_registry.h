@@ -1,0 +1,107 @@
+#pragma once
+// Multi-model serving registry — one process, every model family.
+//
+// A DetectorRegistry maps string keys to `.hmdf` model artifacts on disk
+// (core/model_artifact.h) and hands out shared_ptr snapshots of the
+// serving-only detectors reconstructed from them:
+//
+//   - registration is cheap: add() / add_directory() record paths only;
+//     an artifact is loaded lazily on the first get() of its key.
+//   - get() is a snapshot lookup: the returned shared_ptr pins that
+//     version of the detector for as long as the caller holds it, so
+//     in-flight batches are never invalidated by a swap.
+//   - refresh() re-stats every loaded artifact and reloads the ones whose
+//     identity (inode, mtime, size) changed — the field-update story of
+//     Kuruvila et al. (arXiv:2005.03644): a retrained artifact dropped
+//     over the old file (save_model's temp-file + rename keeps that
+//     atomic, and gives the replacement a fresh inode) is picked up
+//     without a restart and without dropping traffic on the old version.
+//     An artifact that went missing or unreadable keeps its last good
+//     snapshot — a registry never serves worse than it already does.
+//
+// All members are safe to call concurrently; loads happen under the
+// registry lock (serving threads holding snapshots are unaffected).
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/hmd.h"
+
+namespace hmd::api {
+
+/// On-disk identity of an artifact, used to detect swaps. All-zero means
+/// "unreachable". The inode distinguishes rename-published replacements
+/// whose size and mtime quantum both match the old file.
+struct ArtifactStat {
+  std::uint64_t inode = 0;
+  std::int64_t mtime_ns = 0;
+  std::uintmax_t bytes = 0;
+
+  friend bool operator==(const ArtifactStat&, const ArtifactStat&) = default;
+};
+
+class DetectorRegistry {
+ public:
+  /// `n_threads` sizes every loaded detector's serving thread pool
+  /// (<= 0 = all cores), exactly like core::load_model.
+  explicit DetectorRegistry(int n_threads = 0) : n_threads_(n_threads) {}
+
+  /// Register (or re-point) `key` at an artifact path. No I/O happens
+  /// until the first get(); re-pointing an existing key drops its loaded
+  /// snapshot so the next get() loads from the new path.
+  void add(const std::string& key, const std::string& path);
+
+  /// Register every `*.hmdf` in `dir`, keyed by file stem (e.g.
+  /// "dvfs_RF_M100"). Returns the number of keys added or re-pointed;
+  /// throws IoError when `dir` is not a directory.
+  std::size_t add_directory(const std::string& dir);
+
+  /// Snapshot lookup. Loads the artifact on first use; throws IoError on
+  /// an unknown key, and propagates the loader's error (IoError, or
+  /// InvalidArgument for a well-formed file with a rejected config) on a
+  /// failed first load. The snapshot stays valid (and bit-stable) however
+  /// many refresh() swaps happen after it.
+  std::shared_ptr<const core::TrustedHmd> get(const std::string& key);
+
+  /// get() that returns nullptr for unknown keys instead of throwing.
+  std::shared_ptr<const core::TrustedHmd> try_get(const std::string& key);
+
+  /// Re-stat every loaded artifact and hot-swap the changed ones (see
+  /// file header). Returns the keys that were reloaded. Never-loaded
+  /// keys stay lazy; vanished or unreadable artifacts keep serving their
+  /// last good snapshot.
+  std::vector<std::string> refresh();
+
+  /// Registered keys, sorted.
+  std::vector<std::string> keys() const;
+
+  /// The artifact path registered for `key` (the one refresh() re-stats);
+  /// throws IoError on an unknown key.
+  std::string path(const std::string& key) const;
+
+  std::size_t size() const;
+  bool contains(const std::string& key) const;
+
+ private:
+  struct Entry {
+    std::string path;
+    ArtifactStat stat;
+    std::shared_ptr<const core::TrustedHmd> detector;  ///< null until loaded
+  };
+
+  /// Load entry's artifact (caller holds mutex_). Records the stat taken
+  /// *before* the read, so a file swapped mid-load is seen as changed by
+  /// the next refresh() rather than missed.
+  void load_locked(Entry& entry) const;
+
+  int n_threads_ = 0;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace hmd::api

@@ -181,6 +181,7 @@ EnsembleStats FlatForestEngine::stats_one(RowView x) const {
   return stats;
 }
 
+template <bool kNeedPosterior, bool kNeedEntropy>
 void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
                                    std::size_t row_end,
                                    EnsembleStats* out) const {
@@ -199,10 +200,12 @@ void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
 
   // Struct-of-arrays accumulators so both loops below vectorise. Votes are
   // accumulated as 0.0/1.0 doubles (exact for any ensemble size) to keep
-  // the stump loop free of int/FP domain crossings.
+  // the stump loop free of int/FP domain crossings. Masked-out fields get
+  // no accumulator and no accumulate: a prediction-only request runs the
+  // stump loop as one compare plus a single blend and add per row.
   std::vector<double> votes(tile, 0.0);
-  std::vector<double> sum_p1(tile, 0.0);
-  std::vector<double> sum_entropy(tile, 0.0);
+  std::vector<double> sum_p1(kNeedPosterior ? tile : 0, 0.0);
+  std::vector<double> sum_entropy(kNeedEntropy ? tile : 0, 0.0);
 
   // Tree-major: each tree's nodes stay hot while the whole tile reuses
   // them. Trees run in ascending member order and lanes are rows, so
@@ -216,8 +219,8 @@ void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
       for (std::size_t r = 0; r < tile; ++r) {
         const bool hi = !(column[r] <= stump.threshold);  // NaN goes hi
         votes[r] += hi ? stump.v_hi : stump.v_lo;
-        sum_p1[r] += hi ? stump.p_hi : stump.p_lo;
-        sum_entropy[r] += hi ? stump.e_hi : stump.e_lo;
+        if constexpr (kNeedPosterior) sum_p1[r] += hi ? stump.p_hi : stump.p_lo;
+        if constexpr (kNeedEntropy) sum_entropy[r] += hi ? stump.e_hi : stump.e_lo;
       }
       continue;
     }
@@ -233,32 +236,44 @@ void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
       }
       const double p1 = node.threshold;
       votes[r] += p1 > 0.5 ? 1.0 : 0.0;
-      sum_p1[r] += p1;
-      sum_entropy[r] += entropy[i];
+      if constexpr (kNeedPosterior) sum_p1[r] += p1;
+      if constexpr (kNeedEntropy) sum_entropy[r] += entropy[i];
     }
   }
 
   for (std::size_t r = 0; r < tile; ++r) {
     out[r].votes1 = static_cast<std::int32_t>(votes[r]);
-    out[r].sum_p1 = sum_p1[r];
-    out[r].sum_entropy = sum_entropy[r];
+    if constexpr (kNeedPosterior) out[r].sum_p1 = sum_p1[r];
+    if constexpr (kNeedEntropy) out[r].sum_entropy = sum_entropy[r];
   }
 }
 
 void FlatForestEngine::stats_batch(const Matrix& x, ThreadPool* pool,
                                    std::vector<EnsembleStats>& out,
-                                   bool /*need_entropy*/) const {
+                                   StatsMask mask) const {
   HMD_REQUIRE(x.cols() == n_features_ || x.rows() == 0,
               "FlatForestEngine::stats_batch: feature width mismatch");
-  // Leaf entropies are precomputed, so honouring need_entropy == false
-  // would save nothing: the accumulate is the same three adds either way.
   out.assign(x.rows(), EnsembleStats{});
   const std::size_t n_tiles = (x.rows() + kTileRows - 1) / kTileRows;
+  // Leaf posteriors/entropies are precomputed, so a masked-out field saves
+  // only its blend + add — but on stump-heavy ensembles those are the bulk
+  // of the per-row work, so the prediction-only specialisation is real.
+  const bool posterior = (mask & kStatsPosterior) != 0;
+  const bool entropy = (mask & kStatsEntropy) != 0;
   auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {
     for (std::size_t t = tile_begin; t < tile_end; ++t) {
       const std::size_t row_begin = t * kTileRows;
       const std::size_t row_end = std::min(x.rows(), row_begin + kTileRows);
-      tile_kernel(x, row_begin, row_end, out.data() + row_begin);
+      EnsembleStats* dst = out.data() + row_begin;
+      if (posterior && entropy) {
+        tile_kernel<true, true>(x, row_begin, row_end, dst);
+      } else if (posterior) {
+        tile_kernel<true, false>(x, row_begin, row_end, dst);
+      } else if (entropy) {
+        tile_kernel<false, true>(x, row_begin, row_end, dst);
+      } else {
+        tile_kernel<false, false>(x, row_begin, row_end, dst);
+      }
     }
   };
   if (pool != nullptr && n_tiles > 1) {

@@ -69,7 +69,7 @@ class FlatForestEngine final : public InferenceEngine {
   EnsembleStats stats_one(RowView x) const override;
   void stats_batch(const Matrix& x, ThreadPool* pool,
                    std::vector<EnsembleStats>& out,
-                   bool need_entropy) const override;
+                   StatsMask mask) const override;
   void save_blob(std::ostream& out) const override;
   std::size_t memory_bytes() const override {
     return nodes_.size() * (sizeof(Node) + sizeof(double)) +
@@ -114,6 +114,7 @@ class FlatForestEngine final : public InferenceEngine {
   /// after load, so the specialisation never needs serialising).
   void derive_stumps();
 
+  template <bool kNeedPosterior, bool kNeedEntropy>
   void tile_kernel(const Matrix& x, std::size_t row_begin,
                    std::size_t row_end, EnsembleStats* out) const;
 

@@ -174,7 +174,7 @@ EnsembleStats FlatLinearEngine::stats_one(RowView x) const {
   return stats;
 }
 
-template <bool kNeedEntropy>
+template <bool kNeedPosterior, bool kNeedEntropy>
 void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
                                    std::size_t row_end,
                                    EnsembleStats* out) const {
@@ -236,7 +236,7 @@ void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
     for (std::size_t m = 0; m < m_count; ++m) {
       const double p = link_probability(t[m]);
       stats.votes1 += p > 0.5;
-      stats.sum_p1 += p;
+      if constexpr (kNeedPosterior) stats.sum_p1 += p;
       if constexpr (kNeedEntropy) stats.sum_entropy += binary_entropy(p);
     }
     return stats;
@@ -251,22 +251,27 @@ void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
 
 void FlatLinearEngine::stats_batch(const Matrix& x, ThreadPool* pool,
                                    std::vector<EnsembleStats>& out,
-                                   bool need_entropy) const {
+                                   StatsMask mask) const {
   HMD_REQUIRE(x.cols() == n_features_ || x.rows() == 0,
               "FlatLinearEngine::stats_batch: feature width mismatch");
   out.assign(x.rows(), EnsembleStats{});
+  const bool posterior = (mask & kStatsPosterior) != 0;
+  const bool entropy = (mask & kStatsEntropy) != 0;
   const std::size_t n_tiles = (x.rows() + kTileRows - 1) / kTileRows;
   auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {
     for (std::size_t t = tile_begin; t < tile_end; ++t) {
       const std::size_t tile_row_begin = t * kTileRows;
       const std::size_t tile_row_end =
           std::min(x.rows(), tile_row_begin + kTileRows);
-      if (need_entropy) {
-        tile_kernel<true>(x, tile_row_begin, tile_row_end,
-                          out.data() + tile_row_begin);
+      EnsembleStats* dst = out.data() + tile_row_begin;
+      if (posterior && entropy) {
+        tile_kernel<true, true>(x, tile_row_begin, tile_row_end, dst);
+      } else if (posterior) {
+        tile_kernel<true, false>(x, tile_row_begin, tile_row_end, dst);
+      } else if (entropy) {
+        tile_kernel<false, true>(x, tile_row_begin, tile_row_end, dst);
       } else {
-        tile_kernel<false>(x, tile_row_begin, tile_row_end,
-                           out.data() + tile_row_begin);
+        tile_kernel<false, false>(x, tile_row_begin, tile_row_end, dst);
       }
     }
   };

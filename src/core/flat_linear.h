@@ -24,9 +24,10 @@
 // bit-parity (proofs in the .cpp):
 //   t >= 40   ⇒ p == 1.0 exactly (exp(-t) < 2^-53 vanishes into 1 + ε)
 //   t <= -745 ⇒ p == 0.0 exactly (exp(-t) overflows to +inf)
-// and when the caller does not need sum_entropy (vote-entropy detection),
-// the per-member log() pair of binary_entropy is skipped entirely —
-// that term is simply never read.
+// and EnsembleStats fields the caller's StatsMask never reads are skipped
+// entirely: a vote-entropy detection drops the per-member log() pair of
+// binary_entropy, a prediction-only request additionally drops the
+// posterior accumulate (the sigmoid itself still runs — votes need p).
 //
 // Tiles are distributed over the thread pool; each tile writes a disjoint
 // output range, so results are deterministic for any worker count.
@@ -70,7 +71,7 @@ class FlatLinearEngine final : public InferenceEngine {
   EnsembleStats stats_one(RowView x) const override;
   void stats_batch(const Matrix& x, ThreadPool* pool,
                    std::vector<EnsembleStats>& out,
-                   bool need_entropy) const override;
+                   StatsMask mask) const override;
   void save_blob(std::ostream& out) const override;
   std::size_t memory_bytes() const override {
     return (weights_.size() + weights_t_.size() + bias_.size() +
@@ -90,7 +91,7 @@ class FlatLinearEngine final : public InferenceEngine {
   /// diverge on the batch-kernel layout).
   void rebuild_transpose();
 
-  template <bool kNeedEntropy>
+  template <bool kNeedPosterior, bool kNeedEntropy>
   void tile_kernel(const Matrix& x, std::size_t row_begin,
                    std::size_t row_end, EnsembleStats* out) const;
 

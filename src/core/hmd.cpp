@@ -1,6 +1,7 @@
 #include "core/hmd.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/error.h"
 #include "core/flat_linear.h"
@@ -16,6 +17,18 @@ std::string model_kind_name(ModelKind kind) {
   throw InvalidArgument("model_kind_name: bad kind");
 }
 
+std::optional<ModelKind> parse_model_kind(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char ch) {
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(ch)));
+  });
+  if (lower == "rf") return ModelKind::kRandomForest;
+  if (lower == "lr") return ModelKind::kBaggedLogistic;
+  if (lower == "svm") return ModelKind::kBaggedSvm;
+  return std::nullopt;
+}
+
 namespace {
 
 void validate_config(const HmdConfig& config) {
@@ -29,6 +42,21 @@ void validate_config(const HmdConfig& config) {
 std::unique_ptr<ThreadPool> make_pool(int n_threads) {
   if (ThreadPool::effective_threads(n_threads) == 1) return nullptr;
   return std::make_unique<ThreadPool>(n_threads);
+}
+
+// The single definitions of the prediction / confidence derivations.
+// Every surface — single-sample detect()/estimate() and the batched
+// score() column fills — goes through these, so the bit-parity-critical
+// expressions cannot diverge between paths.
+
+inline int predict_from(const EnsembleStats& stats, int m) {
+  return 2 * stats.votes1 > m ? 1 : 0;
+}
+
+inline double confidence_from(const EnsembleStats& stats, int prediction,
+                              int m) {
+  const double p1 = stats.sum_p1 / static_cast<double>(m);
+  return prediction == 1 ? p1 : 1.0 - p1;
 }
 
 }  // namespace
@@ -163,12 +191,14 @@ EnsembleStats UntrustedHmd::stats_one(RowView x) const {
 
 void UntrustedHmd::stats_batch(const Matrix& x,
                                std::vector<EnsembleStats>& out,
-                               bool need_entropy) const {
+                               StatsMask mask) const {
   HMD_REQUIRE(ready(), "UntrustedHmd: detect before fit");
   if (engine_ != nullptr) {
-    engine_->stats_batch(x, pool_.get(), out, need_entropy);
+    engine_->stats_batch(x, pool_.get(), out, mask);
     return;
   }
+  // The reference fallback always fills every field: it is the parity
+  // baseline, and member_probabilities dominates anyway.
   const Matrix scaled = scale_inputs_ ? scaler_.transform(x) : Matrix();
   const Matrix& input = scale_inputs_ ? scaled : x;
   out.assign(input.rows(), EnsembleStats{});
@@ -190,9 +220,8 @@ Detection UntrustedHmd::detection_from_stats(
     const EnsembleStats& stats) const {
   Detection detection;
   const int m = config_.n_members;
-  detection.prediction = 2 * stats.votes1 > m ? 1 : 0;
-  const double p1 = stats.sum_p1 / static_cast<double>(m);
-  detection.confidence = detection.prediction == 1 ? p1 : 1.0 - p1;
+  detection.prediction = predict_from(stats, m);
+  detection.confidence = confidence_from(stats, detection.prediction, m);
   detection.score = uncertainty_score(config_.mode, stats, m, &vote_lut_);
   detection.trusted = detection.score <= config_.entropy_threshold;
   return detection;
@@ -202,19 +231,108 @@ Detection UntrustedHmd::detect(RowView x) const {
   return detection_from_stats(stats_one(x));
 }
 
+void UntrustedHmd::score(const api::ScoreRequest& request,
+                         api::ScoreResult& result) const {
+  HMD_REQUIRE(request.x != nullptr,
+              "UntrustedHmd::score: request has no input matrix");
+  const Matrix& x = *request.x;
+  const UncertaintyMode mode = request.mode.value_or(config_.mode);
+  const api::OutputMask outputs = request.outputs;
+
+  stats_batch(x, result.stats, api::stats_mask_for(outputs, mode));
+  result.shape(outputs, x.rows());
+
+  // Column fills, one tight loop per selected output. Every column goes
+  // through the same derivation the Detection / Estimate surface uses
+  // (predict_from / confidence_from / uncertainty_score), so any mask
+  // subset is bit-identical to the full legacy surface.
+  const std::vector<EnsembleStats>& stats = result.stats;
+  const std::size_t n = x.rows();
+  const int m = config_.n_members;
+
+  if (outputs & api::kOutPrediction) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.prediction[r] = predict_from(stats[r], m);
+    }
+  }
+  if (outputs & api::kOutConfidence) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.confidence[r] =
+          confidence_from(stats[r], predict_from(stats[r], m), m);
+    }
+  }
+  if (outputs & api::kOutVotes) {
+    for (std::size_t r = 0; r < n; ++r) result.votes[r] = stats[r].votes1;
+  }
+  if (outputs & api::kOutVoteEntropy) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.vote_entropy[r] = uncertainty_score(
+          UncertaintyMode::kVoteEntropy, stats[r], m, vote_lut());
+    }
+  }
+  if (outputs & api::kOutSoftEntropy) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.soft_entropy[r] = uncertainty_score(
+          UncertaintyMode::kSoftEntropy, stats[r], m, nullptr);
+    }
+  }
+  if (outputs & api::kOutExpectedEntropy) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.expected_entropy[r] = uncertainty_score(
+          UncertaintyMode::kExpectedEntropy, stats[r], m, nullptr);
+    }
+  }
+  if (outputs & api::kOutMutualInformation) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.mutual_information[r] = uncertainty_score(
+          UncertaintyMode::kMutualInformation, stats[r], m, nullptr);
+    }
+  }
+  if (outputs & api::kOutVariationRatio) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.variation_ratio[r] = uncertainty_score(
+          UncertaintyMode::kVariationRatio, stats[r], m, nullptr);
+    }
+  }
+  if (outputs & api::kOutMaxProbability) {
+    for (std::size_t r = 0; r < n; ++r) {
+      result.max_probability[r] = uncertainty_score(
+          UncertaintyMode::kMaxProbability, stats[r], m, nullptr);
+    }
+  }
+  if (outputs & (api::kOutScore | api::kOutTrusted)) {
+    const bool want_score = (outputs & api::kOutScore) != 0;
+    const bool want_trusted = (outputs & api::kOutTrusted) != 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double s = uncertainty_score(mode, stats[r], m, vote_lut());
+      if (want_score) result.score[r] = s;
+      if (want_trusted) {
+        result.trusted[r] = s <= config_.entropy_threshold ? 1 : 0;
+      }
+    }
+  }
+}
+
 std::vector<Detection> UntrustedHmd::detect_batch(const Matrix& x) const {
-  std::vector<EnsembleStats> stats;
-  stats_batch(x, stats, uncertainty_mode_needs_entropy(config_.mode));
-  std::vector<Detection> out;
-  out.reserve(stats.size());
-  for (const auto& s : stats) out.push_back(detection_from_stats(s));
+  api::ScoreRequest request;
+  request.x = &x;
+  request.outputs = api::kDetectionOutputs;
+  api::ScoreResult result;
+  score(request, result);
+  std::vector<Detection> out(result.rows);
+  for (std::size_t r = 0; r < result.rows; ++r) {
+    out[r].prediction = result.prediction[r];
+    out[r].confidence = result.confidence[r];
+    out[r].score = result.score[r];
+    out[r].trusted = result.trusted[r] != 0;
+  }
   return out;
 }
 
 Estimate TrustedHmd::estimate_from_stats(const EnsembleStats& stats) const {
   Estimate estimate;
   const int m = config_.n_members;
-  estimate.prediction = 2 * stats.votes1 > m ? 1 : 0;
+  estimate.prediction = predict_from(stats, m);
   estimate.votes_malware = stats.votes1;
   estimate.vote_entropy =
       uncertainty_score(UncertaintyMode::kVoteEntropy, stats, m, vote_lut());
@@ -239,25 +357,36 @@ Estimate TrustedHmd::estimate(RowView x) const {
 }
 
 std::vector<Estimate> TrustedHmd::estimate_batch(const Matrix& x) const {
-  std::vector<EnsembleStats> stats;
-  stats_batch(x, stats, /*need_entropy=*/true);
-  std::vector<Estimate> out;
-  out.reserve(stats.size());
-  for (const auto& s : stats) out.push_back(estimate_from_stats(s));
+  api::ScoreRequest request;
+  request.x = &x;
+  request.outputs = api::kEstimateOutputs;
+  api::ScoreResult result;
+  score(request, result);
+  std::vector<Estimate> out(result.rows);
+  for (std::size_t r = 0; r < result.rows; ++r) {
+    out[r].prediction = result.prediction[r];
+    out[r].votes_malware = result.votes[r];
+    out[r].vote_entropy = result.vote_entropy[r];
+    out[r].soft_entropy = result.soft_entropy[r];
+    out[r].expected_entropy = result.expected_entropy[r];
+    out[r].mutual_information = result.mutual_information[r];
+    out[r].variation_ratio = result.variation_ratio[r];
+    out[r].max_probability = result.max_probability[r];
+    out[r].score = result.score[r];
+    out[r].trusted = result.trusted[r] != 0;
+  }
   return out;
 }
 
 std::vector<double> TrustedHmd::scores(const Matrix& x,
                                        UncertaintyMode mode) const {
-  std::vector<EnsembleStats> stats;
-  stats_batch(x, stats, uncertainty_mode_needs_entropy(mode));
-  std::vector<double> out;
-  out.reserve(stats.size());
-  for (const auto& s : stats) {
-    out.push_back(
-        uncertainty_score(mode, s, config_.n_members, vote_lut()));
-  }
-  return out;
+  api::ScoreRequest request;
+  request.x = &x;
+  request.outputs = api::kOutScore;
+  request.mode = mode;
+  api::ScoreResult result;
+  score(request, result);
+  return std::move(result.score);
 }
 
 }  // namespace hmd::core

@@ -12,9 +12,14 @@
 // Inference spine: after fit(), the trained ensemble is compiled into a
 // pluggable InferenceEngine (core/inference_engine.h) — tree ensembles
 // into the flat struct-of-arrays FlatForestEngine, bagged LR / SVM into
-// the FlatLinearEngine weight-matrix engine — and detect()/estimate()
-// plus the batched detect_batch()/estimate_batch() all route through it.
-// Batch entry points are parallelised by a reusable thread pool sized by
+// the FlatLinearEngine weight-matrix engine. The one batched entry point
+// is score(ScoreRequest, ScoreResult) (api/score.h): the request's
+// OutputMask selects which columns are computed, the result's buffers are
+// caller-owned and reusable, and the mask is lowered to an engine-level
+// StatsMask so unrequested per-member work is never done. detect(),
+// detect_batch(), estimate(), estimate_batch() and scores() are thin
+// compatibility wrappers over that spine with preset masks. Batch entry
+// points are parallelised by a reusable thread pool sized by
 // HmdConfig::n_threads. The reference ml::Bagging member path is retained
 // for parity testing and as a fallback for exotic ensembles.
 //
@@ -26,9 +31,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/score.h"
 #include "core/flat_forest.h"
 #include "core/inference_engine.h"
 #include "core/thread_pool.h"
@@ -49,6 +56,11 @@ enum class ModelKind {
 
 /// Short display name: "RF", "LR", "SVM".
 std::string model_kind_name(ModelKind kind);
+
+/// Parse a model-kind spelling — the CLI's "rf" / "lr" / "svm" or the
+/// display name, case-insensitively — into a ModelKind. Returns nullopt
+/// for anything else. Round-trips model_kind_name for every kind.
+std::optional<ModelKind> parse_model_kind(const std::string& name);
 
 struct HmdConfig {
   ModelKind model = ModelKind::kRandomForest;
@@ -105,10 +117,18 @@ class UntrustedHmd {
   /// on serving-only detectors.
   void fit(const ml::Dataset& train);
 
-  /// Classify one sample.
+  /// The unified batched entry point: fill the result columns selected by
+  /// request.outputs for every row of *request.x, computing only what the
+  /// mask demands (see the OutputMask contract in api/score.h). Reusing
+  /// one ScoreResult across calls makes the steady state allocation-free.
+  void score(const api::ScoreRequest& request, api::ScoreResult& result) const;
+
+  /// Classify one sample. (Compatibility wrapper over the score() spine's
+  /// per-stat derivations.)
   Detection detect(RowView x) const;
 
-  /// Classify every row of x through the batched engine path.
+  /// Classify every row of x. (Compatibility wrapper: score() with
+  /// api::kDetectionOutputs, re-packed into AoS Detection records.)
   std::vector<Detection> detect_batch(const Matrix& x) const;
 
   /// True when every member's training converged.
@@ -134,10 +154,10 @@ class UntrustedHmd {
 
  protected:
   EnsembleStats stats_one(RowView x) const;
-  /// Batched stats; `need_entropy` says whether callers will read
-  /// sum_entropy (engines may skip entropy work otherwise).
+  /// Batched stats; `mask` names the EnsembleStats fields the caller will
+  /// read (engines skip the work feeding unselected fields).
   void stats_batch(const Matrix& x, std::vector<EnsembleStats>& out,
-                   bool need_entropy) const;
+                   StatsMask mask) const;
   Detection detection_from_stats(const EnsembleStats& stats) const;
   /// Has a usable inference path (engine or reference ensemble)?
   bool ready() const { return engine_ != nullptr || fitted(); }
@@ -175,10 +195,13 @@ class TrustedHmd : public UntrustedHmd {
   /// Full uncertainty estimate for one sample.
   Estimate estimate(RowView x) const;
 
-  /// Batched estimates for every row of x.
+  /// Batched estimates for every row of x. (Compatibility wrapper:
+  /// score() with api::kEstimateOutputs, re-packed into AoS Estimates.)
   std::vector<Estimate> estimate_batch(const Matrix& x) const;
 
   /// Uncertainty scores for every row under an explicit mode (batched).
+  /// (Compatibility wrapper: score() with api::kOutScore and the request
+  /// mode overridden.)
   std::vector<double> scores(const Matrix& x, UncertaintyMode mode) const;
 
  private:

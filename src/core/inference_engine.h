@@ -45,6 +45,22 @@ enum class EngineId : std::uint32_t {
   kFlatLinear = 2,
 };
 
+/// Which EnsembleStats fields the caller will actually read. Engines may
+/// leave an unselected field zero and skip the work that feeds it — the
+/// per-member entropy log() pair, or the posterior accumulate of a
+/// prediction-only request. votes1 is always exact: every selected field
+/// is bit-identical to a full computation, an unselected field is
+/// unspecified (zero in practice).
+enum StatsField : std::uint32_t {
+  kStatsVotes = 1u << 0,      ///< votes1 (always computed; one compare)
+  kStatsPosterior = 1u << 1,  ///< sum_p1
+  kStatsEntropy = 1u << 2,    ///< sum_entropy
+};
+using StatsMask = std::uint32_t;
+
+inline constexpr StatsMask kStatsAll =
+    kStatsVotes | kStatsPosterior | kStatsEntropy;
+
 class InferenceEngine {
  public:
   virtual ~InferenceEngine() = default;
@@ -60,13 +76,15 @@ class InferenceEngine {
   virtual EnsembleStats stats_one(RowView x) const = 0;
 
   /// Batched statistics for every row of `x`, parallelised over `pool`
-  /// when given; `out` is resized to x.rows(). When `need_entropy` is
-  /// false the caller never reads sum_entropy (e.g. vote-entropy
-  /// detection) and the engine may leave it zero to skip per-member
-  /// entropy work; votes and posterior sums are always exact.
+  /// when given; `out` is resized to x.rows(). `mask` names the
+  /// EnsembleStats fields the caller will read (see StatsField): a
+  /// vote-entropy detection never reads sum_entropy, a prediction-only
+  /// score() request reads nothing but votes1, and the engine may skip
+  /// the per-member work feeding an unselected field entirely. Selected
+  /// fields are bit-identical to a kStatsAll computation.
   virtual void stats_batch(const Matrix& x, ThreadPool* pool,
                            std::vector<EnsembleStats>& out,
-                           bool need_entropy) const = 0;
+                           StatsMask mask) const = 0;
 
   /// Serialise the engine payload (everything after the artifact's
   /// engine-id tag) to `out`.

@@ -34,6 +34,15 @@ inline bool uncertainty_mode_needs_entropy(UncertaintyMode mode) {
          mode == UncertaintyMode::kMutualInformation;
 }
 
+/// Does scoring under `mode` read EnsembleStats::sum_p1? Vote-based modes
+/// never do, so a masked request under them lets the engine drop the
+/// posterior accumulate as well.
+inline bool uncertainty_mode_needs_posterior(UncertaintyMode mode) {
+  return mode == UncertaintyMode::kSoftEntropy ||
+         mode == UncertaintyMode::kMutualInformation ||
+         mode == UncertaintyMode::kMaxProbability;
+}
+
 /// Binary entropy H(p) in nats; H(0) = H(1) = 0.
 inline double binary_entropy(double p) {
   if (p <= 0.0 || p >= 1.0) return 0.0;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# End-to-end train-once / serve-many smoke test, run by ctest in both the
+# Release and ASan+UBSan CI jobs:
+#
+#   1. hmd_train writes two model families (RF and LR) into a registry
+#      directory, plus an SVM artifact kept outside it as swap material.
+#   2. hmd_serve serves both families from one DetectorRegistry and, via
+#      --swap-with, overwrites the first model's artifact mid-run and
+#      requires refresh() to hot-swap it (the tool exits non-zero if the
+#      swap is not picked up).
+#   3. The output must show both families and the hot-swap line.
+#
+# usage: serve_smoke.sh <hmd_train> <hmd_serve>
+set -euo pipefail
+
+train_bin=$1
+serve_bin=$2
+
+workdir=$(mktemp -d serve_smoke.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+models="$workdir/models"
+mkdir -p "$models"
+
+common=(--dataset=dvfs --scale=0.1 --threads=1)
+
+"$train_bin" "${common[@]}" --model=rf --members=5 \
+    --out="$models/dvfs_RF_M5.hmdf"
+"$train_bin" "${common[@]}" --model=lr --members=5 \
+    --out="$models/dvfs_LR_M5.hmdf"
+# Swap material lives outside the registry dir (and without the .hmdf
+# suffix) so the directory scan never picks it up as a third model.
+"$train_bin" "${common[@]}" --model=svm --members=9 \
+    --out="$workdir/swap_svm.artifact"
+
+out=$("$serve_bin" --models="$models" "${common[@]}" --batches=8 \
+    --swap-with="$workdir/swap_svm.artifact")
+echo "$out"
+
+grep -q "flat_forest" <<<"$out" || {
+  echo "FAIL: RF family not served" >&2; exit 1; }
+grep -q "flat_linear_lr" <<<"$out" || {
+  echo "FAIL: LR family not served" >&2; exit 1; }
+grep -q "serving  2 model(s)" <<<"$out" || {
+  echo "FAIL: expected 2 models from the registry" >&2; exit 1; }
+grep -q "hot-swap .* -> flat_linear_svm x9" <<<"$out" || {
+  echo "FAIL: refresh() hot-swap not reported" >&2; exit 1; }
+
+echo "serve_smoke: OK"

@@ -1,0 +1,188 @@
+// DetectorRegistry (api/detector_registry.h): lazy artifact loading,
+// directory scans, snapshot semantics, and mtime/size-driven hot-swap —
+// a rewritten artifact is picked up by refresh() while snapshots taken
+// before the swap keep serving the old model, and a vanished artifact
+// never takes a serving key down.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "api/detector_registry.h"
+#include "core/hmd.h"
+#include "core/model_artifact.h"
+#include "test_support.h"
+
+namespace hmd {
+namespace {
+
+using core::ModelKind;
+
+class DetectorRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: the suite must survive ctest -j running sibling
+    // tests in other processes of the same binary.
+    dir_ = std::filesystem::path(
+        "registry_tmp_" +
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Train a tiny detector and save it under `name` (returns the path).
+  std::string save_artifact(const std::string& name, ModelKind kind,
+                            int members, std::uint64_t seed = 5) {
+    core::HmdConfig config;
+    config.model = kind;
+    config.n_members = members;
+    config.n_threads = 1;
+    config.seed = seed;
+    core::TrustedHmd hmd(config);
+    hmd.fit(test::small_dvfs().train);
+    const std::string path = (dir_ / (name + ".hmdf")).string();
+    core::save_model(hmd, path);
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DetectorRegistryTest, AddDirectoryScansAndLazilyLoads) {
+  save_artifact("dvfs_RF_M3", ModelKind::kRandomForest, 3);
+  save_artifact("dvfs_LR_M5", ModelKind::kBaggedLogistic, 5);
+
+  api::DetectorRegistry registry(1);
+  EXPECT_EQ(registry.add_directory(dir_.string()), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.keys(),
+            (std::vector<std::string>{"dvfs_LR_M5", "dvfs_RF_M3"}));
+  EXPECT_TRUE(registry.contains("dvfs_RF_M3"));
+
+  const auto rf = registry.get("dvfs_RF_M3");
+  const auto lr = registry.get("dvfs_LR_M5");
+  EXPECT_EQ(rf->config().model, ModelKind::kRandomForest);
+  EXPECT_EQ(rf->config().n_members, 3);
+  EXPECT_EQ(lr->config().model, ModelKind::kBaggedLogistic);
+  EXPECT_EQ(lr->config().n_members, 5);
+
+  // get() is a snapshot: the same loaded detector until something swaps.
+  EXPECT_EQ(registry.get("dvfs_RF_M3").get(), rf.get());
+
+  // Both serve real traffic from one registry — two model families, one
+  // process.
+  const auto& x = test::small_dvfs().test.X;
+  EXPECT_EQ(rf->detect_batch(x).size(), x.rows());
+  EXPECT_EQ(lr->detect_batch(x).size(), x.rows());
+}
+
+TEST_F(DetectorRegistryTest, UnknownKeyThrowsAndTryGetReturnsNull) {
+  api::DetectorRegistry registry(1);
+  EXPECT_THROW(registry.get("absent"), IoError);
+  EXPECT_EQ(registry.try_get("absent"), nullptr);
+  EXPECT_FALSE(registry.contains("absent"));
+}
+
+TEST_F(DetectorRegistryTest, RefreshHotSwapsRewrittenArtifact) {
+  const std::string path = save_artifact("model", ModelKind::kRandomForest, 3);
+  api::DetectorRegistry registry(1);
+  registry.add("model", path);
+
+  const auto before = registry.get("model");
+  EXPECT_EQ(before->config().n_members, 3);
+  EXPECT_TRUE(registry.refresh().empty());  // nothing changed yet
+
+  // Retrain and drop the new artifact over the old file (different size,
+  // so the swap is detected even on filesystems with coarse mtimes).
+  save_artifact("model", ModelKind::kBaggedSvm, 5, /*seed=*/6);
+  const auto reloaded = registry.refresh();
+  ASSERT_EQ(reloaded, std::vector<std::string>{"model"});
+
+  const auto after = registry.get("model");
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(after->config().model, ModelKind::kBaggedSvm);
+  EXPECT_EQ(after->config().n_members, 5);
+
+  // The pre-swap snapshot is pinned: still the old model, still serving.
+  EXPECT_EQ(before->config().n_members, 3);
+  const auto& x = test::small_dvfs().test.X;
+  EXPECT_EQ(before->detect_batch(x).size(), x.rows());
+  EXPECT_EQ(after->detect_batch(x).size(), x.rows());
+
+  // A second refresh with no further writes is a no-op.
+  EXPECT_TRUE(registry.refresh().empty());
+}
+
+TEST_F(DetectorRegistryTest, NeverLoadedKeysStayLazyThroughRefresh) {
+  save_artifact("cold", ModelKind::kRandomForest, 3);
+  api::DetectorRegistry registry(1);
+  registry.add_directory(dir_.string());
+  // refresh() must not force-load a key nobody asked for.
+  EXPECT_TRUE(registry.refresh().empty());
+  EXPECT_EQ(registry.get("cold")->config().n_members, 3);
+}
+
+TEST_F(DetectorRegistryTest, VanishedArtifactKeepsServingLastSnapshot) {
+  const std::string path = save_artifact("model", ModelKind::kRandomForest, 3);
+  api::DetectorRegistry registry(1);
+  registry.add("model", path);
+  const auto before = registry.get("model");
+
+  std::filesystem::remove(path);
+  EXPECT_TRUE(registry.refresh().empty());
+  EXPECT_EQ(registry.get("model").get(), before.get());
+}
+
+TEST_F(DetectorRegistryTest, PathReturnsRegisteredArtifactPath) {
+  const std::string path = save_artifact("model", ModelKind::kRandomForest, 3);
+  api::DetectorRegistry registry(1);
+  registry.add("model", path);
+  EXPECT_EQ(registry.path("model"), path);
+  EXPECT_THROW(registry.path("absent"), IoError);
+}
+
+TEST_F(DetectorRegistryTest, InvalidReplacementKeepsServingLastSnapshot) {
+  const std::string path = save_artifact("model", ModelKind::kRandomForest, 3);
+  api::DetectorRegistry registry(1);
+  registry.add("model", path);
+  const auto before = registry.get("model");
+
+  // Corrupt the config *payload* while keeping the header valid: the
+  // entropy_threshold double sits right after magic|version|kind|members|
+  // mode, and a negative value passes every IoError check in load_model
+  // but is rejected by the detector's config validation
+  // (InvalidArgument). refresh() must survive it and keep the snapshot.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(4 + 4 + 4 + 4 + 4);
+    const double bad_threshold = -1.0;
+    f.write(reinterpret_cast<const char*>(&bad_threshold),
+            sizeof(bad_threshold));
+  }
+  EXPECT_TRUE(registry.refresh().empty());
+  EXPECT_EQ(registry.get("model").get(), before.get());
+}
+
+TEST_F(DetectorRegistryTest, RepointedKeyReloadsFromNewPath) {
+  const std::string rf = save_artifact("a", ModelKind::kRandomForest, 3);
+  const std::string lr = save_artifact("b", ModelKind::kBaggedLogistic, 5);
+  api::DetectorRegistry registry(1);
+  registry.add("model", rf);
+  EXPECT_EQ(registry.get("model")->config().model, ModelKind::kRandomForest);
+  registry.add("model", lr);  // re-point
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.get("model")->config().model, ModelKind::kBaggedLogistic);
+}
+
+TEST_F(DetectorRegistryTest, AddDirectoryRejectsNonDirectories) {
+  api::DetectorRegistry registry(1);
+  EXPECT_THROW(registry.add_directory((dir_ / "nope").string()), IoError);
+}
+
+}  // namespace
+}  // namespace hmd

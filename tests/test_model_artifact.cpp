@@ -21,7 +21,13 @@ using namespace hmd;
 class ModelArtifactTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path("test_model_tmp");
+    // Unique per test: ctest -j runs sibling tests of this fixture in
+    // separate processes, and a shared directory would let one test's
+    // SetUp delete another's live artifact mid-roundtrip.
+    dir_ = std::filesystem::path(
+        "test_model_tmp_" +
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     path_ = (dir_ / "detector.hmdf").string();

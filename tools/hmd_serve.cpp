@@ -1,23 +1,41 @@
-// hmd_serve — the "serve many" half of the train-once / serve-many split.
+// hmd_serve — the "serve many" half of the train-once / serve-many split,
+// as a multi-model server.
 //
-// Loads a `.hmdf` model artifact into a serving-only detector (no
-// ml::Bagging, no training code on the path) and streams batched
-// detect/estimate traffic over a dataset bundle, reporting sustained
-// throughput and the trust/rejection mix. This is the deployment shape of
-// the ROADMAP north star: models are trained elsewhere (hmd_train),
-// shipped as artifacts, and scored here at batch rates.
+// A DetectorRegistry (api/detector_registry.h) maps model keys to `.hmdf`
+// artifacts: --models=DIR registers every artifact in a directory (keyed
+// by stem) and positional paths register individual files. Each serving
+// round scores one batch per model through the unified score() spine
+// (api/score.h) with the mask picked by --outputs, reusing one ScoreResult
+// per model so the steady-state loop allocates nothing. Every
+// --refresh-every rounds the registry re-stats the artifacts and hot-swaps
+// any that changed on disk — retrained models are picked up without a
+// restart, and snapshots held by in-flight batches stay valid.
 //
-// usage: hmd_serve <model.hmdf> [--dataset=dvfs|hpc] [--batches=N]
-//                  [--threads=N] [--scale=F] [--estimate]
+// --swap-with=PATH is a built-in hot-swap self-check: halfway through the
+// run the first model's artifact is overwritten with PATH's bytes and
+// refresh() must report the reload (exit 1 otherwise) while the
+// pre-swap snapshot keeps scoring — the proof that a process can take a
+// field update mid-traffic.
+//
+// usage: hmd_serve [--models=DIR] [model.hmdf ...] [--dataset=dvfs|hpc]
+//                  [--batches=N] [--threads=N] [--scale=F]
+//                  [--model=rf|lr|svm] [--outputs=prediction|detect|estimate]
+//                  [--refresh-every=N] [--swap-with=PATH]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "api/detector_registry.h"
+#include "api/score.h"
 #include "bench_common.h"
 #include "core/hmd.h"
-#include "core/model_artifact.h"
 
 namespace {
 
@@ -25,19 +43,27 @@ using namespace hmd;
 using clock_type = std::chrono::steady_clock;
 
 [[noreturn]] void usage_error(const std::string& flag) {
-  std::fprintf(stderr,
-               "hmd_serve: bad argument '%s'\n"
-               "usage: hmd_serve <model.hmdf> [--dataset=dvfs|hpc] "
-               "[--batches=N] [--threads=N] [--scale=F] [--estimate]\n",
-               flag.c_str());
+  std::fprintf(
+      stderr,
+      "hmd_serve: bad argument '%s'\n"
+      "usage: hmd_serve [--models=DIR] [model.hmdf ...] "
+      "[--dataset=dvfs|hpc] [--batches=N] [--threads=N] [--scale=F] "
+      "[--model=rf|lr|svm] [--outputs=prediction|detect|estimate] "
+      "[--refresh-every=N] [--swap-with=PATH]\n",
+      flag.c_str());
   std::exit(2);
 }
 
 struct ServeArgs {
-  std::string artifact;
+  std::string models_dir;
+  std::vector<std::string> artifacts;
   std::string dataset = "dvfs";
   int batches = 200;
-  bool estimate = false;  ///< stream estimate_batch instead of detect_batch
+  int refresh_every = 16;
+  std::string swap_with;
+  std::optional<core::ModelKind> model_filter;
+  api::OutputMask outputs = api::kDetectionOutputs;
+  std::string outputs_name = "detect";
   bench::BenchOptions options;
 };
 
@@ -48,7 +74,9 @@ ServeArgs parse_args(int argc, char** argv) {
     const auto value_of = [&](const std::string& prefix) {
       return arg.substr(prefix.size());
     };
-    if (arg.rfind("--dataset=", 0) == 0) {
+    if (arg.rfind("--models=", 0) == 0) {
+      args.models_dir = value_of("--models=");
+    } else if (arg.rfind("--dataset=", 0) == 0) {
       args.dataset = value_of("--dataset=");
       if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
     } else if (arg.rfind("--batches=", 0) == 0) {
@@ -60,16 +88,58 @@ ServeArgs parse_args(int argc, char** argv) {
       args.options.scale = std::atof(value_of("--scale=").c_str());
       if (args.options.scale <= 0.0 || args.options.scale > 16.0)
         usage_error(arg);
-    } else if (arg == "--estimate") {
-      args.estimate = true;
-    } else if (arg.rfind("--", 0) == 0 || !args.artifact.empty()) {
+    } else if (arg.rfind("--model=", 0) == 0) {
+      args.model_filter = core::parse_model_kind(value_of("--model="));
+      if (!args.model_filter) usage_error(arg);
+    } else if (arg.rfind("--outputs=", 0) == 0) {
+      args.outputs_name = value_of("--outputs=");
+      if (args.outputs_name == "prediction") {
+        args.outputs = api::kPredictionOnly | api::kOutTrusted;
+      } else if (args.outputs_name == "detect") {
+        args.outputs = api::kDetectionOutputs;
+      } else if (args.outputs_name == "estimate") {
+        args.outputs = api::kEstimateOutputs;
+      } else {
+        usage_error(arg);
+      }
+    } else if (arg.rfind("--refresh-every=", 0) == 0) {
+      args.refresh_every = std::atoi(value_of("--refresh-every=").c_str());
+      if (args.refresh_every < 1) usage_error(arg);
+    } else if (arg.rfind("--swap-with=", 0) == 0) {
+      args.swap_with = value_of("--swap-with=");
+    } else if (arg == "--estimate") {  // legacy spelling
+      args.outputs = api::kEstimateOutputs;
+      args.outputs_name = "estimate";
+    } else if (arg.rfind("--", 0) == 0) {
       usage_error(arg);
     } else {
-      args.artifact = arg;
+      args.artifacts.push_back(arg);
     }
   }
-  if (args.artifact.empty()) usage_error("<missing model.hmdf>");
+  if (args.models_dir.empty() && args.artifacts.empty()) {
+    usage_error("<missing --models=DIR or model.hmdf>");
+  }
   return args;
+}
+
+/// One served model: its registry key, reusable result buffers, and
+/// running traffic counters.
+struct ServedModel {
+  std::string key;
+  std::string path;
+  api::ScoreResult result;  ///< reused every round: steady state is alloc-free
+  std::size_t items = 0;
+  std::size_t flagged = 0;
+  std::size_t rejected = 0;
+  bool filtered_out = false;  ///< hot-swapped to a family --model excludes
+};
+
+void describe(const std::string& key, const core::TrustedHmd& hmd) {
+  std::printf("model    %-24s %s x%d, engine %s (%zu KiB), threshold %.2f\n",
+              key.c_str(), core::model_kind_name(hmd.config().model).c_str(),
+              hmd.config().n_members, hmd.engine().name().c_str(),
+              hmd.engine().memory_bytes() / 1024,
+              hmd.config().entropy_threshold);
 }
 
 }  // namespace
@@ -77,58 +147,145 @@ ServeArgs parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   const ServeArgs args = parse_args(argc, argv);
 
-  auto start = clock_type::now();
-  const core::TrustedHmd hmd =
-      core::load_model(args.artifact, args.options.n_threads);
-  const double load_ms =
-      std::chrono::duration<double, std::milli>(clock_type::now() - start)
-          .count();
-  std::printf("loaded   %s in %.2f ms: %s x%d, engine %s (%zu KiB), "
-              "training convergence %.0f%%, no ensemble resident: %s\n",
-              args.artifact.c_str(), load_ms,
-              core::model_kind_name(hmd.config().model).c_str(),
-              hmd.config().n_members, hmd.engine().name().c_str(),
-              hmd.engine().memory_bytes() / 1024,
-              100.0 * hmd.converged_fraction(),
-              hmd.has_ensemble() ? "NO (unexpected)" : "yes");
+  api::DetectorRegistry registry(args.options.n_threads);
+  if (!args.models_dir.empty()) {
+    const std::size_t found = registry.add_directory(args.models_dir);
+    std::printf("registry scanned %s: %zu artifact(s)\n",
+                args.models_dir.c_str(), found);
+  }
+  for (const std::string& path : args.artifacts) {
+    const std::string key = std::filesystem::path(path).stem().string();
+    if (registry.contains(key)) {
+      // add() would silently re-point the key at the later path; make the
+      // operator's collision visible instead of dropping a model.
+      std::fprintf(stderr,
+                   "hmd_serve: duplicate model key '%s' (from %s)\n",
+                   key.c_str(), path.c_str());
+      return 2;
+    }
+    registry.add(key, path);
+  }
+
+  // Materialise the served set (loading each artifact once) and apply the
+  // --model family filter. One bad artifact must not take down its
+  // healthy siblings: skip it with a warning, like refresh() does.
+  std::vector<ServedModel> served;
+  for (const std::string& key : registry.keys()) {
+    std::shared_ptr<const core::TrustedHmd> hmd;
+    try {
+      hmd = registry.get(key);
+    } catch (const HmdError& error) {
+      std::fprintf(stderr, "hmd_serve: skipping %s: %s\n", key.c_str(),
+                   error.what());
+      continue;
+    }
+    if (args.model_filter && hmd->config().model != *args.model_filter) {
+      continue;
+    }
+    describe(key, *hmd);
+    ServedModel model;
+    model.key = key;
+    model.path = registry.path(key);  // the file refresh() re-stats
+    served.push_back(std::move(model));
+  }
+  if (served.empty()) {
+    std::fprintf(stderr, "hmd_serve: no models to serve\n");
+    return 1;
+  }
+  std::printf("serving  %zu model(s), outputs=%s, refresh every %d rounds\n",
+              served.size(), args.outputs_name.c_str(), args.refresh_every);
 
   const data::DatasetBundle bundle = args.dataset == "dvfs"
                                          ? bench::dvfs_bundle(args.options)
                                          : bench::hpc_bundle(args.options);
-  const Matrix& x = bundle.test.X;
+  api::ScoreRequest request;
+  request.x = &bundle.test.X;
+  request.outputs = args.outputs;
 
-  std::size_t flagged = 0, rejected = 0;
-  start = clock_type::now();
-  for (int b = 0; b < args.batches; ++b) {
-    if (args.estimate) {
-      const auto estimates = hmd.estimate_batch(x);
-      for (const auto& e : estimates) {
-        flagged += e.prediction == 1;
-        rejected += !e.trusted;
+  const int swap_round = args.batches / 2;
+  bool swap_verified = args.swap_with.empty();
+
+  const auto start = clock_type::now();
+  for (int round = 0; round < args.batches; ++round) {
+    if (!args.swap_with.empty() && round == swap_round) {
+      // Hot-swap self-check: overwrite the first model's artifact and
+      // demand that refresh() picks it up, while the snapshot taken
+      // before the swap keeps serving the old version.
+      ServedModel& target = served.front();
+      const auto before = registry.get(target.key);
+      std::filesystem::copy_file(
+          args.swap_with, target.path,
+          std::filesystem::copy_options::overwrite_existing);
+      const auto reloaded = registry.refresh();
+      const auto after = registry.get(target.key);
+      before->detect_batch(bundle.test.X);  // old snapshot still serves
+      const bool swapped =
+          std::find(reloaded.begin(), reloaded.end(), target.key) !=
+              reloaded.end() &&
+          after.get() != before.get();
+      std::printf("hot-swap %s: refresh reloaded %zu key(s), %s -> %s x%d\n",
+                  target.key.c_str(), reloaded.size(),
+                  before->engine().name().c_str(),
+                  after->engine().name().c_str(), after->config().n_members);
+      if (!swapped) {
+        std::fprintf(stderr, "hmd_serve: hot-swap NOT picked up\n");
+        return 1;
       }
-    } else {
-      const auto detections = hmd.detect_batch(x);
-      for (const auto& d : detections) {
-        flagged += d.prediction == 1;
-        rejected += !d.trusted;
+      swap_verified = true;
+    } else if (round > 0 && round % args.refresh_every == 0) {
+      for (const std::string& key : registry.refresh()) {
+        std::printf("refresh  reloaded %s\n", key.c_str());
+      }
+    }
+
+    for (ServedModel& model : served) {
+      const auto hmd = registry.get(model.key);  // snapshot for this batch
+      // The --model filter holds across hot-swaps: a refresh() that
+      // replaced this key with another family takes it out of rotation
+      // until a matching artifact comes back.
+      if (args.model_filter && hmd->config().model != *args.model_filter) {
+        if (!model.filtered_out) {
+          std::printf("filter   %s swapped to %s; no longer served\n",
+                      model.key.c_str(),
+                      core::model_kind_name(hmd->config().model).c_str());
+          model.filtered_out = true;
+        }
+        continue;
+      }
+      model.filtered_out = false;
+      hmd->score(request, model.result);
+      model.items += model.result.rows;
+      for (std::size_t r = 0; r < model.result.rows; ++r) {
+        if (request.outputs & api::kOutPrediction) {
+          model.flagged += model.result.prediction[r] == 1;
+        }
+        if (request.outputs & api::kOutTrusted) {
+          model.rejected += model.result.trusted[r] == 0;
+        }
       }
     }
   }
   const double seconds =
       std::chrono::duration<double>(clock_type::now() - start).count();
-  const auto items =
-      static_cast<std::size_t>(args.batches) * x.rows();
-  std::printf("served   %zu %s over %d batches of %zu rows in %.3f s "
-              "= %.0f items/s\n",
-              items, args.estimate ? "estimates" : "detections",
-              args.batches, x.rows(), seconds,
-              static_cast<double>(items) / seconds);
-  std::printf("traffic  %.1f%% flagged malware, %.1f%% rejected as "
-              "untrustworthy (threshold %.2f)\n",
-              100.0 * static_cast<double>(flagged) /
-                  static_cast<double>(items),
-              100.0 * static_cast<double>(rejected) /
-                  static_cast<double>(items),
-              hmd.config().entropy_threshold);
-  return 0;
+
+  std::size_t total_items = 0;
+  for (const ServedModel& model : served) {
+    total_items += model.items;
+    if (model.items == 0) {
+      std::printf("traffic  %-24s 0 items\n", model.key.c_str());
+      continue;
+    }
+    std::printf("traffic  %-24s %zu items, %.1f%% flagged malware, "
+                "%.1f%% rejected as untrustworthy\n",
+                model.key.c_str(), model.items,
+                100.0 * static_cast<double>(model.flagged) /
+                    static_cast<double>(model.items),
+                100.0 * static_cast<double>(model.rejected) /
+                    static_cast<double>(model.items));
+  }
+  std::printf("served   %zu items across %zu model(s) in %.3f s = %.0f "
+              "items/s\n",
+              total_items, served.size(), seconds,
+              static_cast<double>(total_items) / seconds);
+  return swap_verified ? 0 : 1;
 }

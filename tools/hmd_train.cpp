@@ -58,11 +58,9 @@ TrainArgs parse_args(int argc, char** argv) {
       args.dataset = value_of("--dataset=");
       if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
     } else if (arg.rfind("--model=", 0) == 0) {
-      const std::string name = value_of("--model=");
-      if (name == "rf") args.model = core::ModelKind::kRandomForest;
-      else if (name == "lr") args.model = core::ModelKind::kBaggedLogistic;
-      else if (name == "svm") args.model = core::ModelKind::kBaggedSvm;
-      else usage_error(arg);
+      const auto kind = core::parse_model_kind(value_of("--model="));
+      if (!kind) usage_error(arg);
+      args.model = *kind;
     } else if (arg.rfind("--members=", 0) == 0) {
       args.options.n_members = std::atoi(value_of("--members=").c_str());
       if (args.options.n_members < 1) usage_error(arg);
