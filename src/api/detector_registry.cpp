@@ -3,7 +3,6 @@
 #include <sys/stat.h>
 
 #include "common/error.h"
-#include "core/model_artifact.h"
 
 namespace hmd::api {
 
@@ -36,13 +35,22 @@ ArtifactStat stat_artifact(const std::string& path) {
 
 }  // namespace
 
+DetectorRegistry::DetectorRegistry(int n_threads, core::LoadMode mode)
+    : n_threads_(n_threads),
+      load_mode_(mode),
+      loader_([mode](const std::string& path, int threads) {
+        return std::make_shared<const core::TrustedHmd>(
+            core::load_model(path, threads, mode));
+      }) {}
+
 void DetectorRegistry::add(const std::string& key, const std::string& path) {
   HMD_REQUIRE(!key.empty(), "DetectorRegistry::add: empty key");
+  auto entry = std::make_shared<Entry>(path);
   const std::lock_guard<std::mutex> lock(mutex_);
-  Entry& entry = entries_[key];
-  entry.path = path;
-  entry.detector = nullptr;  // force a lazy (re)load from the new path
-  entry.stat = {};
+  // Always a fresh Entry — even when the key exists. An in-flight load
+  // against the old entry then publishes into an orphan the map no
+  // longer reaches, so a re-point can never be clobbered by stale I/O.
+  entries_[key] = std::move(entry);
 }
 
 std::size_t DetectorRegistry::add_directory(const std::string& dir) {
@@ -66,10 +74,24 @@ std::size_t DetectorRegistry::add_directory(const std::string& dir) {
   return added;
 }
 
-void DetectorRegistry::load_locked(Entry& entry) const {
+std::shared_ptr<const core::TrustedHmd> DetectorRegistry::snapshot(
+    const Entry& entry) {
+  const std::lock_guard<std::mutex> lock(entry.state_mutex);
+  return entry.detector;
+}
+
+std::shared_ptr<DetectorRegistry::Entry> DetectorRegistry::find_entry(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void DetectorRegistry::load_entry(Entry& entry) const {
   const ArtifactStat stat = stat_artifact(entry.path);
-  entry.detector = std::make_shared<const core::TrustedHmd>(
-      core::load_model(entry.path, n_threads_));
+  auto detector = loader_(entry.path, n_threads_);
+  const std::lock_guard<std::mutex> lock(entry.state_mutex);
+  entry.detector = std::move(detector);
   entry.stat = stat;
 }
 
@@ -84,23 +106,50 @@ std::shared_ptr<const core::TrustedHmd> DetectorRegistry::get(
 
 std::shared_ptr<const core::TrustedHmd> DetectorRegistry::try_get(
     const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  if (it->second.detector == nullptr) load_locked(it->second);
-  return it->second.detector;
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (entry == nullptr) return nullptr;
+  // Fast path: already loaded — one leaf-lock pointer copy, no I/O
+  // locks, no serialisation against loads of any key (even this one:
+  // refresh() publishes the swapped detector with the same leaf lock).
+  if (auto loaded = snapshot(*entry)) return loaded;
+  // Slow path: first load. load_mutex makes it at-most-once per
+  // concurrent wave of callers of *this* key; the registry map mutex is
+  // not held, so callers of other keys proceed untouched.
+  const std::lock_guard<std::mutex> load_lock(entry->load_mutex);
+  if (auto loaded = snapshot(*entry)) return loaded;  // double-check
+  load_entry(*entry);
+  return snapshot(*entry);
 }
 
 std::vector<std::string> DetectorRegistry::refresh() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // Snapshot the entry set first; the map lock drops before any I/O.
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> loaded;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    loaded.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) loaded.emplace_back(key, entry);
+  }
   std::vector<std::string> reloaded;
-  for (auto& [key, entry] : entries_) {
-    if (entry.detector == nullptr) continue;  // still lazy; nothing to swap
-    const ArtifactStat stat = stat_artifact(entry.path);
+  for (auto& [key, entry] : loaded) {
+    // The lazy check runs *before* taking the load mutex: a never-loaded
+    // entry whose first get() is parked in artifact I/O holds its
+    // load_mutex, and refresh() queueing behind it would stall the
+    // hot-swap sweep of every other key.
+    {
+      const std::lock_guard<std::mutex> state_lock(entry->state_mutex);
+      if (entry->detector == nullptr) continue;  // still lazy: nothing to swap
+    }
+    const std::lock_guard<std::mutex> load_lock(entry->load_mutex);
+    ArtifactStat last_stat;
+    {
+      const std::lock_guard<std::mutex> state_lock(entry->state_mutex);
+      last_stat = entry->stat;
+    }
+    const ArtifactStat stat = stat_artifact(entry->path);
     if (stat.bytes == 0) continue;  // vanished: keep the last good snapshot
-    if (stat == entry.stat) continue;
+    if (stat == last_stat) continue;
     try {
-      load_locked(entry);
+      load_entry(*entry);
       reloaded.push_back(key);
     } catch (const HmdError&) {
       // Unreadable or invalid replacement (a foreign writer without the
@@ -121,12 +170,11 @@ std::vector<std::string> DetectorRegistry::keys() const {
 }
 
 std::string DetectorRegistry::path(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (entry == nullptr) {
     throw IoError("DetectorRegistry: unknown model key '" + key + "'");
   }
-  return it->second.path;
+  return entry->path;
 }
 
 std::size_t DetectorRegistry::size() const {

@@ -14,16 +14,36 @@
 //     identity (inode, mtime, size) changed — the field-update story of
 //     Kuruvila et al. (arXiv:2005.03644): a retrained artifact dropped
 //     over the old file (save_model's temp-file + rename keeps that
-//     atomic, and gives the replacement a fresh inode) is picked up
+//     atomic, gives the replacement a fresh inode, and leaves mappings
+//     of the old inode intact for in-flight snapshots) is picked up
 //     without a restart and without dropping traffic on the old version.
 //     An artifact that went missing or unreadable keeps its last good
 //     snapshot — a registry never serves worse than it already does.
 //
-// All members are safe to call concurrently; loads happen under the
-// registry lock (serving threads holding snapshots are unaffected).
+// ## Locking: loads happen OUTSIDE the registry mutex
+//
+// The registry mutex only guards the key → entry map; artifact I/O never
+// runs under it. Each entry carries its own two-mutex loading state:
+//
+//   - `state_mutex` (leaf lock, held for pointer reads/writes only)
+//     guards the published snapshot + stat;
+//   - `load_mutex` serialises loads *of that entry alone* and is held
+//     across the artifact read.
+//
+// get() is double-checked: a snapshot read under state_mutex first
+// (loaded entries never touch load_mutex), then load_mutex + re-check,
+// so a load happens at most once per concurrent wave of callers — and a
+// slow load of key A never blocks get("B"): B's callers take B's locks
+// only. refresh() follows the same discipline per entry, so it cannot
+// stall lookups of other keys either. add() re-pointing a live key
+// installs a *fresh* entry, so an in-flight load of the old path can
+// only ever publish into the orphaned entry, never into the new one.
+//
+// All members are safe to call concurrently.
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +51,7 @@
 #include <vector>
 
 #include "core/hmd.h"
+#include "core/model_artifact.h"
 
 namespace hmd::api {
 
@@ -47,13 +68,21 @@ struct ArtifactStat {
 
 class DetectorRegistry {
  public:
+  /// Loader signature: reconstruct a detector from an artifact path.
+  /// Replaceable for tests (e.g. to make one key's load slow and prove
+  /// it does not block the others).
+  using Loader = std::function<std::shared_ptr<const core::TrustedHmd>(
+      const std::string& path, int n_threads)>;
+
   /// `n_threads` sizes every loaded detector's serving thread pool
-  /// (<= 0 = all cores), exactly like core::load_model.
-  explicit DetectorRegistry(int n_threads = 0) : n_threads_(n_threads) {}
+  /// (<= 0 = all cores) and `mode` how artifact bytes are materialised
+  /// (mmap by default for v2 artifacts), exactly like core::load_model.
+  explicit DetectorRegistry(int n_threads = 0,
+                            core::LoadMode mode = core::LoadMode::kAuto);
 
   /// Register (or re-point) `key` at an artifact path. No I/O happens
-  /// until the first get(); re-pointing an existing key drops its loaded
-  /// snapshot so the next get() loads from the new path.
+  /// until the first get(); re-pointing an existing key installs a fresh
+  /// unloaded entry so the next get() loads from the new path.
   void add(const std::string& key, const std::string& path);
 
   /// Register every `*.hmdf` in `dir`, keyed by file stem (e.g.
@@ -74,7 +103,8 @@ class DetectorRegistry {
   /// Re-stat every loaded artifact and hot-swap the changed ones (see
   /// file header). Returns the keys that were reloaded. Never-loaded
   /// keys stay lazy; vanished or unreadable artifacts keep serving their
-  /// last good snapshot.
+  /// last good snapshot. Loads run outside the registry mutex, so a
+  /// refresh never stalls get() of other keys.
   std::vector<std::string> refresh();
 
   /// Registered keys, sorted.
@@ -87,21 +117,48 @@ class DetectorRegistry {
   std::size_t size() const;
   bool contains(const std::string& key) const;
 
+  /// Replace the artifact loader (test seam; defaults to
+  /// core::load_model with this registry's LoadMode). Call before
+  /// serving starts — it is not synchronised against in-flight loads.
+  void set_loader_for_testing(Loader loader) { loader_ = std::move(loader); }
+
+  /// How this registry materialises artifact bytes.
+  core::LoadMode load_mode() const { return load_mode_; }
+
  private:
   struct Entry {
-    std::string path;
+    explicit Entry(std::string artifact_path)
+        : path(std::move(artifact_path)) {}
+
+    const std::string path;  ///< immutable; re-pointing makes a new Entry
+
+    /// Serialises loads of this entry only; held across artifact I/O.
+    std::mutex load_mutex;
+    /// Leaf lock for the published fields below (pointer-copy critical
+    /// sections only — never held across I/O, never while taking
+    /// another lock).
+    mutable std::mutex state_mutex;
     ArtifactStat stat;
     std::shared_ptr<const core::TrustedHmd> detector;  ///< null until loaded
   };
 
-  /// Load entry's artifact (caller holds mutex_). Records the stat taken
-  /// *before* the read, so a file swapped mid-load is seen as changed by
-  /// the next refresh() rather than missed.
-  void load_locked(Entry& entry) const;
+  /// The published snapshot (null when not yet loaded).
+  static std::shared_ptr<const core::TrustedHmd> snapshot(const Entry& entry);
+
+  /// Load entry's artifact and publish it. Caller holds entry.load_mutex
+  /// (and no other lock). Records the stat taken *before* the read, so a
+  /// file swapped mid-load is seen as changed by the next refresh()
+  /// rather than missed.
+  void load_entry(Entry& entry) const;
+
+  /// The entry registered under `key`, or null (brief map-lock lookup).
+  std::shared_ptr<Entry> find_entry(const std::string& key) const;
 
   int n_threads_ = 0;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  core::LoadMode load_mode_ = core::LoadMode::kAuto;
+  Loader loader_;
+  mutable std::mutex mutex_;  ///< guards entries_ (the map) only
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
 };
 
 }  // namespace hmd::api

@@ -3,9 +3,21 @@
 // (the `.hmdb` dataset cache and the `.hmdf` model artifact). Readers
 // throw IoError on truncation so a short file can never be misread as a
 // smaller-but-valid payload.
+//
+// Two layers live here:
+//   - write_pod/read_pod/write_span/read_span/write_vec/read_vec stream
+//     helpers (the v1 artifact + dataset-cache path), and
+//   - AlignedWriter / ByteReader, the offset-tracking pair behind the
+//     `.hmdf` v2 layout: the writer pads sections and arrays to explicit
+//     alignment boundaries, the reader hands out *views into the buffer*
+//     (bounds- and alignment-checked) instead of copying, so a mapped
+//     artifact is parsed in place.
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -68,5 +80,118 @@ void read_vec(std::istream& in, std::vector<T>& values,
   values.resize(n);
   read_span(in, values.data(), values.size(), context);
 }
+
+/// Stream wrapper that tracks the absolute file offset of every write and
+/// can pad to alignment boundaries — the writer half of the `.hmdf` v2
+/// layout, whose big arrays must land on 64-byte file offsets so a mapped
+/// artifact can serve them in place.
+class AlignedWriter {
+ public:
+  explicit AlignedWriter(std::ostream& out) : out_(out) {}
+
+  std::uint64_t offset() const { return offset_; }
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    offset_ += sizeof(T);
+  }
+
+  template <typename T>
+  void write_span(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(n * sizeof(T)));
+    offset_ += n * sizeof(T);
+  }
+
+  /// Zero-pad so the next write lands on an `alignment`-byte offset.
+  void pad_to(std::size_t alignment) {
+    static constexpr char kZeros[64] = {};
+    while (offset_ % alignment != 0) {
+      const std::size_t pad = std::min<std::size_t>(
+          sizeof(kZeros), alignment - offset_ % alignment);
+      out_.write(kZeros, static_cast<std::streamsize>(pad));
+      offset_ += pad;
+    }
+  }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Bounds- and alignment-checked cursor over an in-memory artifact. The
+/// reader half of the v2 layout: view_span() returns a pointer *into the
+/// buffer* (no copy) after checking that the span is inside the buffer
+/// and naturally aligned — a corrupt section offset throws IoError, never
+/// a misaligned or out-of-bounds load. `context` names the file in
+/// errors, like the stream helpers above.
+class ByteReader {
+ public:
+  ByteReader(const std::byte* data, std::size_t size, std::string context)
+      : base_(data), size_(size), context_(std::move(context)) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Jump to an absolute offset (a section-table entry). Throws when the
+  /// offset is outside the buffer or not `alignment`-byte aligned.
+  void seek(std::uint64_t offset, std::size_t alignment) {
+    if (offset > size_) {
+      throw IoError("section offset past end of " + context_);
+    }
+    if (offset % alignment != 0) {
+      throw IoError("misaligned section offset in " + context_);
+    }
+    pos_ = static_cast<std::size_t>(offset);
+  }
+
+  /// Advance past padding so the cursor sits on an `alignment`-byte
+  /// offset (the mirror of AlignedWriter::pad_to).
+  void align_to(std::size_t alignment) {
+    const std::size_t rem = pos_ % alignment;
+    if (rem == 0) return;
+    const std::size_t pad = alignment - rem;
+    if (pad > remaining()) throw IoError("truncated " + context_);
+    pos_ += pad;
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > remaining()) throw IoError("truncated " + context_);
+    T value;
+    std::memcpy(&value, base_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// A view of `n` elements of T starting at the cursor — no copy. The
+  /// cursor must be aligned for T (callers align_to() first); the span
+  /// must fit in the buffer.
+  template <typename T>
+  const T* view_span(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (n > remaining() / sizeof(T)) {
+      throw IoError("truncated " + context_);
+    }
+    if (reinterpret_cast<std::uintptr_t>(base_ + pos_) % alignof(T) != 0) {
+      throw IoError("misaligned array in " + context_);
+    }
+    const T* view = reinterpret_cast<const T*>(base_ + pos_);
+    pos_ += n * sizeof(T);
+    return view;
+  }
+
+  const std::string& context() const { return context_; }
+
+ private:
+  const std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
 
 }  // namespace hmd::io

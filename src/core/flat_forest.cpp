@@ -30,51 +30,59 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::compile(
   flat->n_features_ = ensemble.n_features();
   std::size_t total_nodes = 0;
   for (const auto* tree : trees) total_nodes += tree->nodes().size();
-  flat->nodes_.reserve(total_nodes);
-  flat->leaf_entropy_.reserve(total_nodes);
-  flat->roots_.reserve(trees.size());
+  flat->nodes_storage_.reserve(total_nodes);
+  flat->leaf_entropy_storage_.reserve(total_nodes);
+  flat->roots_storage_.reserve(trees.size());
 
   auto append_slot = [&flat]() {
-    flat->nodes_.emplace_back();
-    flat->leaf_entropy_.push_back(0.0);
-    return static_cast<std::int32_t>(flat->nodes_.size() - 1);
+    flat->nodes_storage_.emplace_back();
+    flat->leaf_entropy_storage_.push_back(0.0);
+    return static_cast<std::int32_t>(flat->nodes_storage_.size() - 1);
   };
 
   for (std::size_t m = 0; m < trees.size(); ++m) {
     const auto& nodes = trees[m]->nodes();
     const auto& feature_map = ensemble.feature_map(m);
-    flat->roots_.push_back(append_slot());
+    flat->roots_storage_.push_back(append_slot());
 
     // Breadth-first re-layout; both children of a node are allocated
     // together so right == left + 1 everywhere.
     std::deque<std::pair<std::int32_t, std::int32_t>> frontier;
-    frontier.emplace_back(0, flat->roots_.back());
+    frontier.emplace_back(0, flat->roots_storage_.back());
     while (!frontier.empty()) {
       const auto [src, dst] = frontier.front();
       frontier.pop_front();
       const auto& node = nodes[static_cast<std::size_t>(src)];
       if (node.feature < 0) {
-        flat->nodes_[dst].feature = -1;
-        flat->nodes_[dst].threshold = node.p1;
-        flat->leaf_entropy_[dst] = binary_entropy(node.p1);
+        flat->nodes_storage_[dst].feature = -1;
+        flat->nodes_storage_[dst].threshold = node.p1;
+        flat->leaf_entropy_storage_[dst] = binary_entropy(node.p1);
         continue;
       }
       const std::int32_t global_feature =
           feature_map.empty()
               ? node.feature
               : feature_map[static_cast<std::size_t>(node.feature)];
-      flat->nodes_[dst].feature = global_feature;
-      flat->nodes_[dst].threshold = node.threshold;
+      flat->nodes_storage_[dst].feature = global_feature;
+      flat->nodes_storage_[dst].threshold = node.threshold;
       const std::int32_t left = append_slot();
       append_slot();  // right child at left + 1
-      flat->nodes_[dst].left = left;
+      flat->nodes_storage_[dst].left = left;
       frontier.emplace_back(node.left, left);
       frontier.emplace_back(node.right, left + 1);
     }
   }
 
+  flat->adopt_storage();
   flat->derive_stumps();
   return flat;
+}
+
+void FlatForestEngine::adopt_storage() {
+  nodes_ = nodes_storage_;
+  leaf_entropy_ = leaf_entropy_storage_;
+  roots_ = roots_storage_;
+  buffer_ = nullptr;
 }
 
 void FlatForestEngine::derive_stumps() {
@@ -114,9 +122,61 @@ void FlatForestEngine::derive_stumps() {
 
 void FlatForestEngine::save_blob(std::ostream& out) const {
   io::write_pod(out, static_cast<std::uint64_t>(n_features_));
-  io::write_vec(out, nodes_);
-  io::write_vec(out, leaf_entropy_);
-  io::write_vec(out, roots_);
+  io::write_pod(out, static_cast<std::uint64_t>(nodes_.size()));
+  io::write_span(out, nodes_.data(), nodes_.size());
+  io::write_pod(out, static_cast<std::uint64_t>(leaf_entropy_.size()));
+  io::write_span(out, leaf_entropy_.data(), leaf_entropy_.size());
+  io::write_pod(out, static_cast<std::uint64_t>(roots_.size()));
+  io::write_span(out, roots_.data(), roots_.size());
+}
+
+void FlatForestEngine::save_blob_v2(io::AlignedWriter& out) const {
+  // Counts first, then each array on a 64-byte file offset — the arena
+  // and its side tables are served straight out of the mapping.
+  out.write_pod(static_cast<std::uint64_t>(n_features_));
+  out.write_pod(static_cast<std::uint64_t>(nodes_.size()));
+  out.write_pod(static_cast<std::uint64_t>(roots_.size()));
+  out.pad_to(64);
+  out.write_span(nodes_.data(), nodes_.size());
+  out.pad_to(64);
+  out.write_span(leaf_entropy_.data(), leaf_entropy_.size());
+  out.pad_to(64);
+  out.write_span(roots_.data(), roots_.size());
+}
+
+namespace {
+
+/// Geometry caps shared by both load paths. 2^26 16-byte nodes is a 1 GiB
+/// model, far above any real ensemble — a corrupt length field must
+/// throw, not trigger an OOM-sized allocation (v1) or an absurd view
+/// (v2, where ByteReader's bounds check would also catch it).
+constexpr std::uint64_t kMaxNodes = std::uint64_t{1} << 26;
+constexpr std::uint64_t kMaxFeatures = std::uint64_t{1} << 24;
+
+}  // namespace
+
+void FlatForestEngine::validate_geometry(const std::string& context) const {
+  if (roots_.empty() || leaf_entropy_.size() != nodes_.size())
+    throw IoError("inconsistent flat-forest geometry in " + context);
+  const auto n_nodes = static_cast<std::int32_t>(nodes_.size());
+  // Structural validation so a corrupt arena can never be *traversed*
+  // wrong: feature indices stay inside the input row, and child links
+  // point strictly forward (the BFS re-layout guarantees this), which
+  // also guarantees every walk terminates.
+  for (std::int32_t i = 0; i < n_nodes; ++i) {
+    const Node& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.feature < 0) continue;
+    if (static_cast<std::uint64_t>(node.feature) >= n_features_)
+      throw IoError("out-of-range feature index in " + context);
+    // `left >= n_nodes - 1` (not `left + 1 >= n_nodes`): a crafted arena
+    // with left == INT32_MAX must be rejected, not signed-overflow UB.
+    if (node.left <= i || node.left >= n_nodes - 1)
+      throw IoError("out-of-arena child index in " + context);
+  }
+  for (const std::int32_t root : roots_) {
+    if (root < 0 || root >= n_nodes)
+      throw IoError("out-of-arena root index in " + context);
+  }
 }
 
 std::unique_ptr<FlatForestEngine> FlatForestEngine::load_blob(
@@ -124,35 +184,44 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::load_blob(
   auto flat = std::make_unique<FlatForestEngine>();
   std::uint64_t n_features = 0;
   io::read_pod(in, n_features, context);
-  if (n_features == 0 || n_features > (1u << 24))
+  if (n_features == 0 || n_features > kMaxFeatures)
     throw IoError("implausible flat-forest feature width in " + context);
   flat->n_features_ = static_cast<std::size_t>(n_features);
-  // Arena cap: 2^26 16-byte nodes is a 1 GiB model, far above any real
-  // ensemble — a corrupt length field must throw, not trigger an
-  // OOM-sized allocation.
-  constexpr std::uint64_t kMaxNodes = std::uint64_t{1} << 26;
-  io::read_vec(in, flat->nodes_, context, kMaxNodes);
-  io::read_vec(in, flat->leaf_entropy_, context, flat->nodes_.size());
-  io::read_vec(in, flat->roots_, context, flat->nodes_.size());
-  if (flat->roots_.empty() || flat->leaf_entropy_.size() != flat->nodes_.size())
-    throw IoError("inconsistent flat-forest geometry in " + context);
-  const auto n_nodes = static_cast<std::int32_t>(flat->nodes_.size());
-  // Structural validation so a corrupt arena can never be *traversed*
-  // wrong: feature indices stay inside the input row, and child links
-  // point strictly forward (the BFS re-layout guarantees this), which
-  // also guarantees every walk terminates.
-  for (std::int32_t i = 0; i < n_nodes; ++i) {
-    const Node& node = flat->nodes_[static_cast<std::size_t>(i)];
-    if (node.feature < 0) continue;
-    if (static_cast<std::uint64_t>(node.feature) >= n_features)
-      throw IoError("out-of-range feature index in " + context);
-    if (node.left <= i || node.left + 1 >= n_nodes)
-      throw IoError("out-of-arena child index in " + context);
-  }
-  for (const std::int32_t root : flat->roots_) {
-    if (root < 0 || root >= n_nodes)
-      throw IoError("out-of-arena root index in " + context);
-  }
+  io::read_vec(in, flat->nodes_storage_, context, kMaxNodes);
+  io::read_vec(in, flat->leaf_entropy_storage_, context,
+               flat->nodes_storage_.size());
+  io::read_vec(in, flat->roots_storage_, context,
+               flat->nodes_storage_.size());
+  flat->adopt_storage();
+  flat->validate_geometry(context);
+  flat->derive_stumps();
+  return flat;
+}
+
+std::unique_ptr<FlatForestEngine> FlatForestEngine::from_buffer(
+    io::ByteReader& in, std::shared_ptr<const io::ArtifactBuffer> keepalive) {
+  auto flat = std::make_unique<FlatForestEngine>();
+  const auto n_features = in.read_pod<std::uint64_t>();
+  const auto n_nodes = in.read_pod<std::uint64_t>();
+  const auto n_roots = in.read_pod<std::uint64_t>();
+  if (n_features == 0 || n_features > kMaxFeatures)
+    throw IoError("implausible flat-forest feature width in " + in.context());
+  if (n_nodes == 0 || n_nodes > kMaxNodes || n_roots > n_nodes)
+    throw IoError("implausible flat-forest geometry in " + in.context());
+  flat->n_features_ = static_cast<std::size_t>(n_features);
+  // Views straight into the artifact bytes — the zero-copy path. The
+  // buffer keepalive pins the mapping for the engine's lifetime.
+  in.align_to(64);
+  flat->nodes_ = {in.view_span<Node>(n_nodes),
+                  static_cast<std::size_t>(n_nodes)};
+  in.align_to(64);
+  flat->leaf_entropy_ = {in.view_span<double>(n_nodes),
+                         static_cast<std::size_t>(n_nodes)};
+  in.align_to(64);
+  flat->roots_ = {in.view_span<std::int32_t>(n_roots),
+                  static_cast<std::size_t>(n_roots)};
+  flat->buffer_ = std::move(keepalive);
+  flat->validate_geometry(in.context());
   flat->derive_stumps();
   return flat;
 }

@@ -38,15 +38,29 @@
 // save_blob() streams them and load_blob() rebuilds the engine (the stump
 // table is re-derived from the arena), so a serving process reconstructs
 // inference without any training objects.
+//
+// Storage is view-based: the hot-path arrays (node arena, leaf entropies,
+// roots) are std::spans. A training-built or v1-stream-loaded engine
+// points them at its own vectors; an engine built from a `.hmdf` v2
+// ArtifactBuffer (from_buffer) points them straight into the mapped file
+// — zero copies, residency paid in page faults actually touched — and
+// holds a shared_ptr keepalive so the mapping outlives the engine. The
+// stump table is always re-derived at load; it is never serialised.
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/mapped_file.h"
 #include "common/matrix.h"
 #include "core/inference_engine.h"
 #include "ml/bagging.h"
+
+namespace hmd::io {
+class ByteReader;
+}  // namespace hmd::io
 
 namespace hmd::core {
 
@@ -59,9 +73,17 @@ class FlatForestEngine final : public InferenceEngine {
 
   /// Reconstruct an engine from a save_blob() payload; `context` names the
   /// source file in errors. Throws IoError on truncation or implausible
-  /// geometry.
+  /// geometry. The engine owns its storage (the v1 stream path).
   static std::unique_ptr<FlatForestEngine> load_blob(
       std::istream& in, const std::string& context);
+
+  /// Reconstruct an engine from a `.hmdf` v2 save_blob_v2() payload,
+  /// viewing the arena / entropies / roots *in place* inside `keepalive`'s
+  /// buffer (no copies; the engine pins the buffer). Same validation and
+  /// bit-identical outputs as the stream path.
+  static std::unique_ptr<FlatForestEngine> from_buffer(
+      io::ByteReader& in,
+      std::shared_ptr<const io::ArtifactBuffer> keepalive);
 
   std::string name() const override { return "flat_forest"; }
   EngineId engine_id() const override { return EngineId::kFlatForest; }
@@ -71,6 +93,10 @@ class FlatForestEngine final : public InferenceEngine {
                    std::vector<EnsembleStats>& out,
                    StatsMask mask) const override;
   void save_blob(std::ostream& out) const override;
+  void save_blob_v2(io::AlignedWriter& out) const override;
+  bool zero_copy() const override {
+    return buffer_ != nullptr && buffer_->mapped();
+  }
   std::size_t memory_bytes() const override {
     return nodes_.size() * (sizeof(Node) + sizeof(double)) +
            stumps_.size() * sizeof(Stump);
@@ -114,16 +140,38 @@ class FlatForestEngine final : public InferenceEngine {
   /// after load, so the specialisation never needs serialising).
   void derive_stumps();
 
+  /// Point the hot-path spans at the engine-owned storage vectors (the
+  /// training / v1-stream ownership mode).
+  void adopt_storage();
+
+  /// Structural validation shared by both load paths: feature indices
+  /// stay inside the input row and child links point strictly forward, so
+  /// a corrupt arena can never be *traversed* wrong (and every walk
+  /// terminates). Throws IoError naming `context`.
+  void validate_geometry(const std::string& context) const;
+
   template <bool kNeedPosterior, bool kNeedEntropy>
   void tile_kernel(const Matrix& x, std::size_t row_begin,
                    std::size_t row_end, EnsembleStats* out) const;
 
-  std::vector<Node> nodes_;
+  // Hot-path views. Either into the storage vectors below (training /
+  // v1 stream load) or straight into buffer_'s mapped bytes (v2 load).
+  std::span<const Node> nodes_;
   /// Per-slot binary entropy of the leaf P(class 1); meaningful (and read)
   /// only at leaves, kept out of the Node record to halve traversal reads.
-  std::vector<double> leaf_entropy_;
-  std::vector<std::int32_t> roots_;
+  std::span<const double> leaf_entropy_;
+  std::span<const std::int32_t> roots_;
+
+  // Owned backing (empty for zero-copy engines).
+  std::vector<Node> nodes_storage_;
+  std::vector<double> leaf_entropy_storage_;
+  std::vector<std::int32_t> roots_storage_;
+  /// Pins the mapped/read artifact bytes the spans view (null when the
+  /// storage vectors back them).
+  std::shared_ptr<const io::ArtifactBuffer> buffer_;
+
   /// stumps_[m] is valid iff is_stump_[m]; general trees walk the arena.
+  /// Always owned — the specialisation is re-derived at every load.
   std::vector<Stump> stumps_;
   std::vector<std::uint8_t> is_stump_;
   std::size_t n_stumps_ = 0;

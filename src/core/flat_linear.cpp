@@ -50,10 +50,10 @@ std::unique_ptr<FlatLinearEngine> FlatLinearEngine::compile(
   auto engine = std::make_unique<FlatLinearEngine>();
   engine->n_members_ = n_members;
   engine->n_features_ = d;
-  engine->weights_.reserve(n_members * d);
-  engine->bias_.reserve(n_members);
-  engine->platt_a_.assign(n_members, 0.0);
-  engine->platt_b_.assign(n_members, 0.0);
+  engine->weights_storage_.reserve(n_members * d);
+  engine->bias_storage_.reserve(n_members);
+  engine->platt_a_storage_.assign(n_members, 0.0);
+  engine->platt_b_storage_.assign(n_members, 0.0);
 
   bool kind_known = false;
   for (std::size_t m = 0; m < n_members; ++m) {
@@ -70,13 +70,13 @@ std::unique_ptr<FlatLinearEngine> FlatLinearEngine::compile(
             dynamic_cast<const ml::LogisticRegression*>(&member)) {
       kind = MemberKind::kLogistic;
       weights = &lr->weights();
-      engine->bias_.push_back(lr->bias());
+      engine->bias_storage_.push_back(lr->bias());
     } else if (const auto* svm = dynamic_cast<const ml::LinearSvm*>(&member)) {
       kind = MemberKind::kSvm;
       weights = &svm->weights();
-      engine->bias_.push_back(svm->bias());
-      engine->platt_a_[m] = svm->platt_a();
-      engine->platt_b_[m] = svm->platt_b();
+      engine->bias_storage_.push_back(svm->bias());
+      engine->platt_a_storage_[m] = svm->platt_a();
+      engine->platt_b_storage_[m] = svm->platt_b();
     } else {
       return nullptr;
     }
@@ -87,23 +87,37 @@ std::unique_ptr<FlatLinearEngine> FlatLinearEngine::compile(
     } else if (engine->kind_ != kind) {
       return nullptr;  // mixed link functions: stay on the reference path
     }
-    engine->weights_.insert(engine->weights_.end(), weights->begin(),
-                            weights->end());
+    engine->weights_storage_.insert(engine->weights_storage_.end(),
+                                    weights->begin(), weights->end());
   }
 
-  engine->means_ = scaler.means();
-  engine->scales_ = scaler.scales();
+  engine->means_storage_ = scaler.means();
+  engine->scales_storage_ = scaler.scales();
+  engine->adopt_storage();
   engine->rebuild_transpose();
   return engine;
 }
 
+void FlatLinearEngine::adopt_storage() {
+  weights_ = weights_storage_;
+  weights_t_ = weights_t_storage_;
+  bias_ = bias_storage_;
+  platt_a_ = platt_a_storage_;
+  platt_b_ = platt_b_storage_;
+  means_ = means_storage_;
+  scales_ = scales_storage_;
+  buffer_ = nullptr;
+}
+
 void FlatLinearEngine::rebuild_transpose() {
-  weights_t_.assign(n_members_ * n_features_, 0.0);
+  weights_t_storage_.assign(n_members_ * n_features_, 0.0);
   for (std::size_t m = 0; m < n_members_; ++m) {
     for (std::size_t c = 0; c < n_features_; ++c) {
-      weights_t_[c * n_members_ + m] = weights_[m * n_features_ + c];
+      weights_t_storage_[c * n_members_ + m] =
+          weights_[m * n_features_ + c];
     }
   }
+  weights_t_ = weights_t_storage_;
 }
 
 void FlatLinearEngine::save_blob(std::ostream& out) const {
@@ -116,6 +130,22 @@ void FlatLinearEngine::save_blob(std::ostream& out) const {
   io::write_span(out, platt_b_.data(), platt_b_.size());
   io::write_span(out, means_.data(), means_.size());
   io::write_span(out, scales_.data(), scales_.size());
+}
+
+void FlatLinearEngine::save_blob_v2(io::AlignedWriter& out) const {
+  // Counts first, then every array on a 64-byte file offset. The
+  // feature-major transpose is serialised too — it is derived data (like
+  // the forest's leaf entropies), but carrying it on disk lets the batch
+  // kernel's exact layout map in place, so a v2 load does no O(M·d)
+  // rebuild at all.
+  out.write_pod(static_cast<std::uint8_t>(kind_));
+  out.write_pod(static_cast<std::uint64_t>(n_members_));
+  out.write_pod(static_cast<std::uint64_t>(n_features_));
+  for (const std::span<const double> array :
+       {weights_, weights_t_, bias_, platt_a_, platt_b_, means_, scales_}) {
+    out.pad_to(64);
+    out.write_span(array.data(), array.size());
+  }
 }
 
 std::unique_ptr<FlatLinearEngine> FlatLinearEngine::load_blob(
@@ -133,19 +163,49 @@ std::unique_ptr<FlatLinearEngine> FlatLinearEngine::load_blob(
   engine->kind_ = static_cast<MemberKind>(kind);
   engine->n_members_ = static_cast<std::size_t>(n_members);
   engine->n_features_ = static_cast<std::size_t>(d);
-  engine->weights_.resize(engine->n_members_ * engine->n_features_);
-  engine->bias_.resize(engine->n_members_);
-  engine->platt_a_.resize(engine->n_members_);
-  engine->platt_b_.resize(engine->n_members_);
-  engine->means_.resize(engine->n_features_);
-  engine->scales_.resize(engine->n_features_);
-  io::read_span(in, engine->weights_.data(), engine->weights_.size(), context);
-  io::read_span(in, engine->bias_.data(), engine->bias_.size(), context);
-  io::read_span(in, engine->platt_a_.data(), engine->platt_a_.size(), context);
-  io::read_span(in, engine->platt_b_.data(), engine->platt_b_.size(), context);
-  io::read_span(in, engine->means_.data(), engine->means_.size(), context);
-  io::read_span(in, engine->scales_.data(), engine->scales_.size(), context);
+  engine->weights_storage_.resize(engine->n_members_ * engine->n_features_);
+  engine->bias_storage_.resize(engine->n_members_);
+  engine->platt_a_storage_.resize(engine->n_members_);
+  engine->platt_b_storage_.resize(engine->n_members_);
+  engine->means_storage_.resize(engine->n_features_);
+  engine->scales_storage_.resize(engine->n_features_);
+  for (std::vector<double>* array :
+       {&engine->weights_storage_, &engine->bias_storage_,
+        &engine->platt_a_storage_, &engine->platt_b_storage_,
+        &engine->means_storage_, &engine->scales_storage_}) {
+    io::read_span(in, array->data(), array->size(), context);
+  }
+  engine->adopt_storage();
   engine->rebuild_transpose();
+  return engine;
+}
+
+std::unique_ptr<FlatLinearEngine> FlatLinearEngine::from_buffer(
+    io::ByteReader& in, std::shared_ptr<const io::ArtifactBuffer> keepalive) {
+  auto engine = std::make_unique<FlatLinearEngine>();
+  const auto kind = in.read_pod<std::uint8_t>();
+  const auto n_members = in.read_pod<std::uint64_t>();
+  const auto d = in.read_pod<std::uint64_t>();
+  if (kind > static_cast<std::uint8_t>(MemberKind::kSvm))
+    throw IoError("unknown linear member kind in " + in.context());
+  if (n_members == 0 || d == 0 || n_members > (1u << 24) || d > (1u << 24))
+    throw IoError("implausible linear-engine geometry in " + in.context());
+  engine->kind_ = static_cast<MemberKind>(kind);
+  engine->n_members_ = static_cast<std::size_t>(n_members);
+  engine->n_features_ = static_cast<std::size_t>(d);
+  const std::size_t m_by_d = engine->n_members_ * engine->n_features_;
+  const auto view = [&](std::span<const double>& dst, std::size_t n) {
+    in.align_to(64);
+    dst = {in.view_span<double>(n), n};
+  };
+  view(engine->weights_, m_by_d);
+  view(engine->weights_t_, m_by_d);
+  view(engine->bias_, engine->n_members_);
+  view(engine->platt_a_, engine->n_members_);
+  view(engine->platt_b_, engine->n_members_);
+  view(engine->means_, engine->n_features_);
+  view(engine->scales_, engine->n_features_);
+  engine->buffer_ = std::move(keepalive);
   return engine;
 }
 

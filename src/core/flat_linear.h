@@ -31,16 +31,29 @@
 //
 // Tiles are distributed over the thread pool; each tile writes a disjoint
 // output range, so results are deterministic for any worker count.
+//
+// Storage is view-based, like FlatForestEngine: every hot-path array —
+// including the feature-major transpose, which the `.hmdf` v2 layout
+// stores alongside the member-major weights precisely so the batch-kernel
+// layout maps in place — is a std::span pointing either at engine-owned
+// vectors (training / v1 stream load) or straight into a `.hmdf` v2
+// ArtifactBuffer (from_buffer), which the engine pins via shared_ptr.
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/mapped_file.h"
 #include "common/matrix.h"
 #include "core/inference_engine.h"
 #include "ml/bagging.h"
 #include "ml/preprocessing.h"
+
+namespace hmd::io {
+class ByteReader;
+}  // namespace hmd::io
 
 namespace hmd::core {
 
@@ -59,8 +72,17 @@ class FlatLinearEngine final : public InferenceEngine {
 
   /// Reconstruct from a save_blob() payload (standardisation moments
   /// included); throws IoError on truncation or inconsistent geometry.
+  /// The engine owns its storage (the v1 stream path).
   static std::unique_ptr<FlatLinearEngine> load_blob(
       std::istream& in, const std::string& context);
+
+  /// Reconstruct from a `.hmdf` v2 save_blob_v2() payload, viewing every
+  /// array — the M×d weight matrix, its feature-major transpose, the
+  /// bias / Platt / moment vectors — in place inside `keepalive`'s
+  /// buffer. No copies, no transpose rebuild at load.
+  static std::unique_ptr<FlatLinearEngine> from_buffer(
+      io::ByteReader& in,
+      std::shared_ptr<const io::ArtifactBuffer> keepalive);
 
   std::string name() const override {
     return kind_ == MemberKind::kLogistic ? "flat_linear_lr"
@@ -73,6 +95,10 @@ class FlatLinearEngine final : public InferenceEngine {
                    std::vector<EnsembleStats>& out,
                    StatsMask mask) const override;
   void save_blob(std::ostream& out) const override;
+  void save_blob_v2(io::AlignedWriter& out) const override;
+  bool zero_copy() const override {
+    return buffer_ != nullptr && buffer_->mapped();
+  }
   std::size_t memory_bytes() const override {
     return (weights_.size() + weights_t_.size() + bias_.size() +
             platt_a_.size() + platt_b_.size() + means_.size() +
@@ -87,9 +113,13 @@ class FlatLinearEngine final : public InferenceEngine {
 
  private:
   /// Rebuild the feature-major weights_t_ copy from the member-major
-  /// weights_ (after compile and after load, so the two paths can never
-  /// diverge on the batch-kernel layout).
+  /// weights_ (after compile and after v1 load, so the two paths can
+  /// never diverge on the batch-kernel layout; a v2 artifact carries the
+  /// transpose on disk and maps it instead).
   void rebuild_transpose();
+
+  /// Point the hot-path spans at the engine-owned storage vectors.
+  void adopt_storage();
 
   template <bool kNeedPosterior, bool kNeedEntropy>
   void tile_kernel(const Matrix& x, std::size_t row_begin,
@@ -98,13 +128,28 @@ class FlatLinearEngine final : public InferenceEngine {
   MemberKind kind_ = MemberKind::kLogistic;
   std::size_t n_members_ = 0;
   std::size_t n_features_ = 0;
-  std::vector<double> weights_;    ///< member-major M×d (serialised form)
-  std::vector<double> weights_t_;  ///< feature-major d×M (batch kernel)
-  std::vector<double> bias_;       ///< per-member intercept
-  std::vector<double> platt_a_;    ///< SVM Platt slope (unused for LR)
-  std::vector<double> platt_b_;    ///< SVM Platt offset (unused for LR)
-  std::vector<double> means_;      ///< standardisation means
-  std::vector<double> scales_;     ///< standardisation scales
+
+  // Hot-path views. Either into the storage vectors below (training /
+  // v1 stream load) or straight into buffer_'s mapped bytes (v2 load).
+  std::span<const double> weights_;    ///< member-major M×d (serialised)
+  std::span<const double> weights_t_;  ///< feature-major d×M (batch kernel)
+  std::span<const double> bias_;       ///< per-member intercept
+  std::span<const double> platt_a_;    ///< SVM Platt slope (unused for LR)
+  std::span<const double> platt_b_;    ///< SVM Platt offset (unused for LR)
+  std::span<const double> means_;      ///< standardisation means
+  std::span<const double> scales_;     ///< standardisation scales
+
+  // Owned backing (empty for zero-copy engines).
+  std::vector<double> weights_storage_;
+  std::vector<double> weights_t_storage_;
+  std::vector<double> bias_storage_;
+  std::vector<double> platt_a_storage_;
+  std::vector<double> platt_b_storage_;
+  std::vector<double> means_storage_;
+  std::vector<double> scales_storage_;
+  /// Pins the mapped/read artifact bytes the spans view (null when the
+  /// storage vectors back them).
+  std::shared_ptr<const io::ArtifactBuffer> buffer_;
 };
 
 }  // namespace hmd::core

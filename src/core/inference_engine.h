@@ -25,6 +25,10 @@
 
 #include "common/matrix.h"
 
+namespace hmd::io {
+class AlignedWriter;
+}  // namespace hmd::io
+
 namespace hmd::core {
 
 class ThreadPool;
@@ -87,8 +91,20 @@ class InferenceEngine {
                            StatsMask mask) const = 0;
 
   /// Serialise the engine payload (everything after the artifact's
-  /// engine-id tag) to `out`.
+  /// engine-id tag) to `out` in the v1 stream layout.
   virtual void save_blob(std::ostream& out) const = 0;
+
+  /// Serialise the engine payload in the `.hmdf` v2 layout: counts first,
+  /// then every large array padded to a 64-byte file offset so a mapped
+  /// artifact serves it in place (see core/model_artifact.h for the
+  /// on-disk contract).
+  virtual void save_blob_v2(io::AlignedWriter& out) const = 0;
+
+  /// True when the hot-path arrays are non-owning views into a *mapped*
+  /// artifact (residency = pages actually touched). Engines viewing a
+  /// heap-read ArtifactBuffer report false — the bytes were fully
+  /// copied from disk, exactly the cost this flag distinguishes.
+  virtual bool zero_copy() const { return false; }
 
   /// Bytes of model state touched on the hot path (arena, weight matrix).
   virtual std::size_t memory_bytes() const = 0;

@@ -1,11 +1,17 @@
 #include "core/model_artifact.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "common/binary_io.h"
 #include "common/error.h"
+#include "common/mapped_file.h"
 #include "core/flat_forest.h"
 #include "core/flat_linear.h"
 
@@ -14,90 +20,69 @@ namespace hmd::core {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'M', 'D', 'F'};
+constexpr std::uint32_t kSectionCount = 3;  // config | scaler | engine
+constexpr std::uint64_t kSectionTableOffset = 16;
+constexpr std::size_t kSectionAlignment = 64;
 
-bool header_matches(std::istream& in) {
+struct SectionEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+bool header_matches(std::istream& in, std::uint32_t& version) {
   char magic[4] = {};
-  std::uint32_t version = 0;
   in.read(magic, sizeof(magic));
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
-         version == kModelFormatVersion;
+         (version == kModelFormatV1 || version == kModelFormatVersion);
 }
 
-}  // namespace
-
-std::string model_path(const std::string& stem) { return stem + ".hmdf"; }
-
-bool model_exists(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  return header_matches(in);
+/// fsync the file (or directory) at `path`; throws IoError on failure so
+/// a save that could not be made durable is never reported as done.
+void fsync_path(const std::string& path, bool directory) {
+  const int flags =
+      O_RDONLY | O_CLOEXEC | (directory ? O_DIRECTORY : 0);
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    throw IoError("save_model: cannot open for fsync: " + path + ": " +
+                  std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw IoError("save_model: fsync failed for " + path + ": " +
+                  std::strerror(errno));
+  }
 }
 
-void save_model(const UntrustedHmd& hmd, const std::string& path) {
-  HMD_REQUIRE(hmd.uses_flat_engine(),
-              "save_model: detector has no compiled engine");
-  const InferenceEngine& engine = hmd.engine();
-  const HmdConfig& config = hmd.config();
+// Config codec shared by the v1 stream and v2 buffer paths: one field
+// list, two byte sources, so the layouts cannot drift apart. `Source`
+// provides read_pod<T>() (io::ByteReader does; StreamSource adapts an
+// istream).
 
-  const std::filesystem::path fs_path(path);
-  if (fs_path.has_parent_path()) {
-    std::filesystem::create_directories(fs_path.parent_path());
+struct StreamSource {
+  std::istream& in;
+  const std::string& context;
+  template <typename T>
+  T read_pod() {
+    T value;
+    io::read_pod(in, value, context);
+    return value;
   }
-  // Write to a sibling temp file and rename into place, so an interrupted
-  // save never leaves a half-written artifact under the real name.
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) throw IoError("save_model: cannot open " + tmp_path);
-    out.write(kMagic, sizeof(kMagic));
-    io::write_pod(out, kModelFormatVersion);
+};
 
-    io::write_pod(out, static_cast<std::uint32_t>(config.model));
-    io::write_pod(out, static_cast<std::int32_t>(config.n_members));
-    io::write_pod(out, static_cast<std::uint32_t>(config.mode));
-    io::write_pod(out, config.entropy_threshold);
-    io::write_pod(out, config.seed);
-    io::write_pod(out, static_cast<std::int32_t>(config.tree_min_samples_leaf));
-    io::write_pod(out, static_cast<std::int32_t>(config.tree_max_depth));
-    io::write_pod(out, hmd.converged_fraction());
-
-    const ml::StandardScaler& scaler = hmd.input_scaler();
-    const std::uint8_t has_scaler = scaler.fitted() ? 1 : 0;
-    io::write_pod(out, has_scaler);
-    if (has_scaler) {
-      io::write_pod(out, static_cast<std::uint64_t>(scaler.means().size()));
-      io::write_span(out, scaler.means().data(), scaler.means().size());
-      io::write_span(out, scaler.scales().data(), scaler.scales().size());
-    }
-
-    io::write_pod(out, static_cast<std::uint32_t>(engine.engine_id()));
-    engine.save_blob(out);
-    if (!out) throw IoError("save_model: write failed for " + tmp_path);
-  }
-  std::filesystem::rename(tmp_path, path);
-}
-
-TrustedHmd load_model(const std::string& path, int n_threads) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("load_model: missing artifact " + path);
-  if (!header_matches(in)) {
-    throw IoError("load_model: bad magic or version mismatch in " + path +
-                  " (expected v" + std::to_string(kModelFormatVersion) + ")");
-  }
-
+template <typename Source>
+HmdConfig read_config(Source& in, const std::string& path, int n_threads,
+                      double& converged_fraction) {
   HmdConfig config;
-  std::uint32_t model_kind = 0, mode = 0;
-  std::int32_t n_members = 0, min_leaf = 1, max_depth = 0;
-  double converged_fraction = 1.0;
-  io::read_pod(in, model_kind, path);
-  io::read_pod(in, n_members, path);
-  io::read_pod(in, mode, path);
-  io::read_pod(in, config.entropy_threshold, path);
-  io::read_pod(in, config.seed, path);
-  io::read_pod(in, min_leaf, path);
-  io::read_pod(in, max_depth, path);
-  io::read_pod(in, converged_fraction, path);
+  const auto model_kind = in.template read_pod<std::uint32_t>();
+  const auto n_members = in.template read_pod<std::int32_t>();
+  const auto mode = in.template read_pod<std::uint32_t>();
+  config.entropy_threshold = in.template read_pod<double>();
+  config.seed = in.template read_pod<std::uint64_t>();
+  const auto min_leaf = in.template read_pod<std::int32_t>();
+  const auto max_depth = in.template read_pod<std::int32_t>();
+  converged_fraction = in.template read_pod<double>();
   if (model_kind > static_cast<std::uint32_t>(ModelKind::kBaggedSvm))
     throw IoError("load_model: unknown model kind in " + path);
   if (mode > static_cast<std::uint32_t>(UncertaintyMode::kMaxProbability))
@@ -110,6 +95,166 @@ TrustedHmd load_model(const std::string& path, int n_threads) {
   config.tree_min_samples_leaf = min_leaf;
   config.tree_max_depth = max_depth;
   config.n_threads = n_threads;
+  return config;
+}
+
+void write_config(io::AlignedWriter& out, const HmdConfig& config,
+                  double converged_fraction) {
+  out.write_pod(static_cast<std::uint32_t>(config.model));
+  out.write_pod(static_cast<std::int32_t>(config.n_members));
+  out.write_pod(static_cast<std::uint32_t>(config.mode));
+  out.write_pod(config.entropy_threshold);
+  out.write_pod(config.seed);
+  out.write_pod(static_cast<std::int32_t>(config.tree_min_samples_leaf));
+  out.write_pod(static_cast<std::int32_t>(config.tree_max_depth));
+  out.write_pod(converged_fraction);
+}
+
+/// The v1 layout, byte for byte what every pre-v2 reader expects.
+void save_model_v1(std::ostream& out, const UntrustedHmd& hmd) {
+  const InferenceEngine& engine = hmd.engine();
+  const HmdConfig& config = hmd.config();
+  out.write(kMagic, sizeof(kMagic));
+  io::write_pod(out, kModelFormatV1);
+
+  io::AlignedWriter writer(out);  // v1 never pads; used for the one codec
+  write_config(writer, config, hmd.converged_fraction());
+
+  const ml::StandardScaler& scaler = hmd.input_scaler();
+  const std::uint8_t has_scaler = scaler.fitted() ? 1 : 0;
+  io::write_pod(out, has_scaler);
+  if (has_scaler) {
+    io::write_pod(out, static_cast<std::uint64_t>(scaler.means().size()));
+    io::write_span(out, scaler.means().data(), scaler.means().size());
+    io::write_span(out, scaler.scales().data(), scaler.scales().size());
+  }
+
+  io::write_pod(out, static_cast<std::uint32_t>(engine.engine_id()));
+  engine.save_blob(out);
+}
+
+/// The v2 zero-copy layout (contract in model_artifact.h): a 64-byte
+/// header + section table, then 64-byte-aligned config / scaler / engine
+/// sections. The table is patched in after the sections are written.
+void save_model_v2(std::ostream& out, const UntrustedHmd& hmd) {
+  const InferenceEngine& engine = hmd.engine();
+  io::AlignedWriter writer(out);
+  writer.write_span(kMagic, sizeof(kMagic));
+  writer.write_pod(kModelFormatVersion);
+  writer.write_pod(kSectionCount);
+  writer.write_pod(std::uint32_t{0});  // reserved
+  // Placeholder section table, patched below once offsets are known.
+  SectionEntry sections[kSectionCount] = {};
+  writer.write_span(sections, kSectionCount);
+
+  const auto begin_section = [&](SectionEntry& entry) {
+    writer.pad_to(kSectionAlignment);
+    entry.offset = writer.offset();
+  };
+  const auto end_section = [&](SectionEntry& entry) {
+    entry.size = writer.offset() - entry.offset;
+  };
+
+  begin_section(sections[0]);
+  write_config(writer, hmd.config(), hmd.converged_fraction());
+  end_section(sections[0]);
+
+  begin_section(sections[1]);
+  const ml::StandardScaler& scaler = hmd.input_scaler();
+  const std::uint8_t has_scaler = scaler.fitted() ? 1 : 0;
+  writer.write_pod(has_scaler);
+  if (has_scaler) {
+    writer.write_pod(static_cast<std::uint64_t>(scaler.means().size()));
+    writer.pad_to(kSectionAlignment);
+    writer.write_span(scaler.means().data(), scaler.means().size());
+    writer.pad_to(kSectionAlignment);
+    writer.write_span(scaler.scales().data(), scaler.scales().size());
+  }
+  end_section(sections[1]);
+
+  begin_section(sections[2]);
+  writer.write_pod(static_cast<std::uint32_t>(engine.engine_id()));
+  engine.save_blob_v2(writer);
+  end_section(sections[2]);
+
+  out.seekp(static_cast<std::streamoff>(kSectionTableOffset));
+  out.write(reinterpret_cast<const char*>(sections), sizeof(sections));
+}
+
+/// Parse a v2 artifact in place over `buffer` (mapped or heap-read; the
+/// engines keep views into it either way).
+TrustedHmd load_model_v2(std::shared_ptr<const io::ArtifactBuffer> buffer,
+                         const std::string& path, int n_threads) {
+  io::ByteReader in(buffer->data(), buffer->size(), path);
+  // Re-check magic and version from the buffer itself: the caller's
+  // stream peek and this mapping are two opens, and a file swapped in
+  // between must be rejected, not misparsed.
+  char magic[4];
+  std::memcpy(magic, in.view_span<char>(4), 4);
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+      in.read_pod<std::uint32_t>() != kModelFormatVersion) {
+    throw IoError("load_model: bad magic or version mismatch in " + path);
+  }
+  const auto section_count = in.read_pod<std::uint32_t>();
+  in.read_pod<std::uint32_t>();  // reserved
+  if (section_count != kSectionCount)
+    throw IoError("load_model: bad section count in " + path);
+  SectionEntry sections[kSectionCount];
+  for (SectionEntry& entry : sections) {
+    entry.offset = in.read_pod<std::uint64_t>();
+    entry.size = in.read_pod<std::uint64_t>();
+    if (entry.offset + entry.size < entry.offset ||  // u64 overflow
+        entry.offset + entry.size > buffer->size()) {
+      throw IoError("load_model: section past end of " + path);
+    }
+  }
+
+  in.seek(sections[0].offset, kSectionAlignment);
+  double converged_fraction = 1.0;
+  HmdConfig config = read_config(in, path, n_threads, converged_fraction);
+
+  in.seek(sections[1].offset, kSectionAlignment);
+  ml::StandardScaler scaler;
+  if (in.read_pod<std::uint8_t>() != 0) {
+    const auto d = in.read_pod<std::uint64_t>();
+    if (d == 0 || d > (1u << 24))
+      throw IoError("load_model: implausible scaler width in " + path);
+    // The scaler moments are tiny (d doubles each); they are copied out
+    // of the buffer rather than viewed, because StandardScaler owns its
+    // vectors and the engines carry their own moments anyway.
+    in.align_to(kSectionAlignment);
+    const double* means = in.view_span<double>(d);
+    in.align_to(kSectionAlignment);
+    const double* scales = in.view_span<double>(d);
+    scaler = ml::StandardScaler::from_moments(
+        std::vector<double>(means, means + d),
+        std::vector<double>(scales, scales + d));
+  }
+
+  in.seek(sections[2].offset, kSectionAlignment);
+  const auto engine_id = in.read_pod<std::uint32_t>();
+  std::unique_ptr<InferenceEngine> engine;
+  switch (static_cast<EngineId>(engine_id)) {
+    case EngineId::kFlatForest:
+      engine = FlatForestEngine::from_buffer(in, buffer);
+      break;
+    case EngineId::kFlatLinear:
+      engine = FlatLinearEngine::from_buffer(in, buffer);
+      break;
+    default:
+      throw IoError("load_model: unknown engine id " +
+                    std::to_string(engine_id) + " in " + path);
+  }
+
+  return TrustedHmd(std::move(config), std::move(engine), std::move(scaler),
+                    converged_fraction);
+}
+
+TrustedHmd load_model_v1(std::istream& in, const std::string& path,
+                         int n_threads) {
+  StreamSource source{in, path};
+  double converged_fraction = 1.0;
+  HmdConfig config = read_config(source, path, n_threads, converged_fraction);
 
   ml::StandardScaler scaler;
   std::uint8_t has_scaler = 0;
@@ -143,6 +288,88 @@ TrustedHmd load_model(const std::string& path, int n_threads) {
 
   return TrustedHmd(std::move(config), std::move(engine), std::move(scaler),
                     converged_fraction);
+}
+
+}  // namespace
+
+std::string model_path(const std::string& stem) { return stem + ".hmdf"; }
+
+bool model_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t version = 0;
+  return header_matches(in, version);
+}
+
+void save_model(const UntrustedHmd& hmd, const std::string& path,
+                std::uint32_t format_version) {
+  HMD_REQUIRE(hmd.uses_flat_engine(),
+              "save_model: detector has no compiled engine");
+  HMD_REQUIRE(format_version == kModelFormatV1 ||
+                  format_version == kModelFormatVersion,
+              "save_model: unsupported format version");
+
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path());
+  }
+  // Write to a sibling temp file and rename into place, so an interrupted
+  // save never leaves a half-written artifact under the real name — and
+  // so replacing a *served* artifact gives the new bytes a fresh inode,
+  // leaving live mappings of the old version untouched.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("save_model: cannot open " + tmp_path);
+    if (format_version == kModelFormatV1) {
+      save_model_v1(out, hmd);
+    } else {
+      save_model_v2(out, hmd);
+    }
+    // Flush explicitly before the stream check: the destructor's implicit
+    // flush swallows errors, and a short tail lost to ENOSPC here would
+    // otherwise be fsynced and renamed over the good artifact below.
+    out.flush();
+    if (!out) throw IoError("save_model: write failed for " + tmp_path);
+  }
+  // Durability before visibility: flush the temp file's bytes to stable
+  // storage *before* the rename publishes them, then flush the directory
+  // entry itself — a crash at any point leaves either the complete old
+  // artifact or the complete new one, never a torn file for refresh().
+  fsync_path(tmp_path, /*directory=*/false);
+  std::filesystem::rename(tmp_path, path);
+  fsync_path(fs_path.has_parent_path() ? fs_path.parent_path().string()
+                                       : std::string("."),
+             /*directory=*/true);
+}
+
+TrustedHmd load_model(const std::string& path, int n_threads, LoadMode mode) {
+  std::uint32_t version = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("load_model: missing artifact " + path);
+    if (!header_matches(in, version)) {
+      throw IoError("load_model: bad magic or version mismatch in " + path +
+                    " (expected v" + std::to_string(kModelFormatV1) + " or v" +
+                    std::to_string(kModelFormatVersion) + ")");
+    }
+    if (version == kModelFormatV1) {
+      // v1 predates the aligned layout: always the stream copy path.
+      return load_model_v1(in, path, n_threads);
+    }
+  }
+  auto buffer = std::make_shared<io::ArtifactBuffer>([&] {
+    switch (mode) {
+      case LoadMode::kMmap:
+        return io::ArtifactBuffer::map_file(path);
+      case LoadMode::kStream:
+        return io::ArtifactBuffer::read_file(path);
+      case LoadMode::kAuto:
+        break;
+    }
+    return io::ArtifactBuffer::map_or_read(path);
+  }());
+  return load_model_v2(std::move(buffer), path, n_threads);
 }
 
 }  // namespace hmd::core

@@ -1,49 +1,119 @@
 #pragma once
 // Versioned on-disk model artifact — the train-once / serve-many split.
 //
-// Format v1: a single little-endian binary file (`<stem>.hmdf`) holding
-// everything a serving process needs and nothing the trainer used,
-// mirroring the `.hmdb` dataset-cache design in datasets/io.h:
+// A `.hmdf` file holds everything a serving process needs and nothing the
+// trainer used. Two format versions are live:
 //
-//   magic "HMDF" | u32 version
-//   config: u32 model_kind | i32 n_members | u32 uncertainty_mode
-//           f64 entropy_threshold | u64 seed | i32 tree_min_samples_leaf
-//           i32 tree_max_depth | f64 converged_fraction
-//   scaler: u8 has_scaler | [u64 d | f64 means[d] | f64 scales[d]]
-//   engine: u32 engine_id | engine blob (see the engine's save_blob)
+// ## Format v2 (current, written by default): the zero-copy layout
 //
-// save_model() streams a fitted detector's compiled engine; load_model()
-// reconstructs a *serving-only* TrustedHmd straight from the engine blob —
-// no ml::Bagging, no base learners, no training code on the path — whose
-// detections and estimates are bit-identical to the detector that was
-// saved. Writes are atomic (temp file + rename). Loaders throw IoError on
-// missing files, bad magic, version mismatch, unknown engine tags, or
-// truncation.
+// All integers little-endian. Every section starts on a 64-byte file
+// offset, and inside the engine section every large array is padded to a
+// 64-byte file offset too. mmap returns a page-aligned base, so file-
+// offset alignment == memory alignment: the node arena and the M×d weight
+// matrices are directly usable in place, and a serving process's model
+// residency cost is O(page faults actually touched), not O(bytes copied).
+//
+//   [ 0.. 4)  magic "HMDF"
+//   [ 4.. 8)  u32 version = 2
+//   [ 8..12)  u32 section_count = 3
+//   [12..16)  u32 reserved = 0
+//   [16..64)  section table: section_count × { u64 offset, u64 size }
+//             sections in order: config, scaler, engine. Offsets are
+//             64-byte aligned and in-bounds; sizes are exact payload
+//             bytes (loaders reject misaligned or out-of-range entries).
+//
+//   config section:
+//     u32 model_kind | i32 n_members | u32 uncertainty_mode
+//     f64 entropy_threshold | u64 seed | i32 tree_min_samples_leaf
+//     i32 tree_max_depth | f64 converged_fraction
+//   scaler section:
+//     u8 has_scaler | [u64 d | align64 | f64 means[d] | align64 |
+//     f64 scales[d]]
+//   engine section:
+//     u32 engine_id | engine v2 blob (see the engine's save_blob_v2):
+//       flat_forest: u64 n_features | u64 n_nodes | u64 n_roots
+//                    | align64 | Node nodes[n_nodes]
+//                    | align64 | f64 leaf_entropy[n_nodes]
+//                    | align64 | i32 roots[n_roots]
+//       flat_linear: u8 kind | u64 M | u64 d
+//                    | align64 | f64 weights[M*d]      (member-major)
+//                    | align64 | f64 weights_t[M*d]    (feature-major —
+//                      the batch-kernel layout, carried on disk so it
+//                      maps in place instead of being rebuilt at load)
+//                    | align64 | f64 bias[M] | align64 | f64 platt_a[M]
+//                    | align64 | f64 platt_b[M] | align64 | f64 means[d]
+//                    | align64 | f64 scales[d]
+//
+// A v2 load parses the file through an ArtifactBuffer (mmap by default,
+// full buffer read as fallback / on request) and the engines hold
+// non-owning views into it; the stump table is re-derived at load.
+//
+// ## Format v1 (still loadable, writable on request): the stream layout
+//
+//   magic "HMDF" | u32 version=1 | config (as above, packed) |
+//   u8 has_scaler [u64 d | means | scales] | u32 engine_id | engine blob
+//
+// v1 files always load through the std::istream copy path.
+//
+// save_model() writes atomically and durably: temp file + fsync(file) +
+// rename + fsync(directory), so a crash mid-field-update can never leave
+// a torn artifact under the real name for DetectorRegistry::refresh() to
+// pick up. The rename discipline is also what makes hot-swap safe for
+// mapped artifacts: replacing the directory entry leaves the old inode —
+// and every live mapping of it — intact until the last reader drops it.
+// (Overwriting a served artifact *in place* is a contract violation: a
+// process still mapping the old bytes would see torn data or SIGBUS.)
+//
+// Loaders throw IoError on missing files, bad magic, unsupported
+// versions, unknown engine tags, truncation, or misaligned/out-of-range
+// v2 section offsets.
 
+#include <cstdint>
 #include <string>
 
 #include "core/hmd.h"
 
 namespace hmd::core {
 
-/// Current artifact version. Bump when the layout changes.
-inline constexpr std::uint32_t kModelFormatVersion = 1;
+/// Current artifact version (the default save format). Bump when the
+/// layout changes; load_model also accepts kModelFormatV1.
+inline constexpr std::uint32_t kModelFormatVersion = 2;
+inline constexpr std::uint32_t kModelFormatV1 = 1;
+
+/// How load_model materialises the artifact bytes.
+enum class LoadMode {
+  /// v2: mmap, falling back to a full buffer read if mapping fails.
+  /// v1: stream read. The serving default.
+  kAuto,
+  /// v2: mmap or throw IoError. v1: stream read (v1 predates the
+  /// zero-copy layout; there is nothing to map in place).
+  kMmap,
+  /// Never map: v2 parses from a full heap read, v1 streams. The
+  /// full-copy baseline the bench compares against.
+  kStream,
+};
 
 /// Path of the model artifact for a stem ("<stem>.hmdf").
 std::string model_path(const std::string& stem);
 
-/// True iff an artifact exists at `path` *and* carries the current
-/// magic/version — stale artifacts look absent so callers re-train.
+/// True iff an artifact exists at `path` *and* carries the magic and a
+/// loadable version (v1 or v2) — stale artifacts look absent so callers
+/// re-train.
 bool model_exists(const std::string& path);
 
 /// Persist a fitted detector (config + scaler + compiled engine) to
-/// `path`. The detector must be using a flat engine.
-void save_model(const UntrustedHmd& hmd, const std::string& path);
+/// `path`. The detector must be using a flat engine. `format_version`
+/// selects the on-disk layout (v2 by default; v1 kept for migration
+/// tests and old readers). Writes are atomic and durable (see header).
+void save_model(const UntrustedHmd& hmd, const std::string& path,
+                std::uint32_t format_version = kModelFormatVersion);
 
 /// Reconstruct a serving-only detector from an artifact. `n_threads`
 /// sizes the serving thread pool (<= 0 = all cores) — it intentionally
 /// does not come from the artifact, since the training host's core count
-/// is meaningless to the serving host.
-TrustedHmd load_model(const std::string& path, int n_threads = 0);
+/// is meaningless to the serving host. `mode` picks how the bytes are
+/// materialised (see LoadMode); every mode yields bit-identical outputs.
+TrustedHmd load_model(const std::string& path, int n_threads = 0,
+                      LoadMode mode = LoadMode::kAuto);
 
 }  // namespace hmd::core

@@ -5,10 +5,14 @@
 #   1. hmd_train writes two model families (RF and LR) into a registry
 #      directory, plus an SVM artifact kept outside it as swap material.
 #   2. hmd_serve serves both families from one DetectorRegistry and, via
-#      --swap-with, overwrites the first model's artifact mid-run and
-#      requires refresh() to hot-swap it (the tool exits non-zero if the
-#      swap is not picked up).
+#      --swap-with, replaces the first model's artifact mid-run (temp
+#      file + rename publish) and requires refresh() to hot-swap it (the
+#      tool exits non-zero if the swap is not picked up).
 #   3. The output must show both families and the hot-swap line.
+#   4. The same serve -> overwrite -> refresh() loop runs again with
+#      --mmap=on: zero-copy engines must serve and hot-swap while the
+#      pre-swap snapshot's mapping (old inode) keeps scoring, and once
+#      more with --mmap=off to cover the full-copy fallback.
 #
 # usage: serve_smoke.sh <hmd_train> <hmd_serve>
 set -euo pipefail
@@ -45,5 +49,39 @@ grep -q "serving  2 model(s)" <<<"$out" || {
   echo "FAIL: expected 2 models from the registry" >&2; exit 1; }
 grep -q "hot-swap .* -> flat_linear_svm x9" <<<"$out" || {
   echo "FAIL: refresh() hot-swap not reported" >&2; exit 1; }
+
+# The hot-swap left an SVM artifact under the LR key (served.front() is
+# the first key in sort order); restore the LR model so the mmap round
+# below serves both original families again.
+"$train_bin" "${common[@]}" --model=lr --members=5 \
+    --out="$models/dvfs_LR_M5.hmdf"
+
+# Round 2: the same serve -> overwrite -> refresh() hot-swap loop on the
+# explicit mmap path. Engines must report zero-copy residency and the
+# pre-swap snapshot (whose mapping pins the old inode through the
+# rename) must keep serving through the swap.
+out=$("$serve_bin" --models="$models" "${common[@]}" --batches=8 --mmap=on \
+    --swap-with="$workdir/swap_svm.artifact")
+echo "$out"
+
+grep -q "load=mmap" <<<"$out" || {
+  echo "FAIL: --mmap=on not honoured" >&2; exit 1; }
+grep -q "zero-copy" <<<"$out" || {
+  echo "FAIL: mmap-loaded engines not zero-copy" >&2; exit 1; }
+grep -q "hot-swap .* flat_linear_lr -> flat_linear_svm x9" <<<"$out" || {
+  echo "FAIL: refresh() hot-swap not reported on the mmap path" >&2
+  exit 1; }
+
+# Round 3: --mmap=off must serve the same registry through the full-copy
+# read path (no zero-copy engines).
+"$train_bin" "${common[@]}" --model=lr --members=5 \
+    --out="$models/dvfs_LR_M5.hmdf"
+out=$("$serve_bin" --models="$models" "${common[@]}" --batches=4 --mmap=off)
+echo "$out"
+
+grep -q "load=stream" <<<"$out" || {
+  echo "FAIL: --mmap=off not honoured" >&2; exit 1; }
+grep -q "zero-copy" <<<"$out" && {
+  echo "FAIL: stream path must not produce zero-copy engines" >&2; exit 1; }
 
 echo "serve_smoke: OK"

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <semaphore>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/detector_registry.h"
 #include "core/hmd.h"
@@ -152,14 +157,19 @@ TEST_F(DetectorRegistryTest, InvalidReplacementKeepsServingLastSnapshot) {
   const auto before = registry.get("model");
 
   // Corrupt the config *payload* while keeping the header valid: the
-  // entropy_threshold double sits right after magic|version|kind|members|
-  // mode, and a negative value passes every IoError check in load_model
-  // but is rejected by the detector's config validation
-  // (InvalidArgument). refresh() must survive it and keep the snapshot.
+  // entropy_threshold double sits 12 bytes into the config section
+  // (after the kind|members|mode u32s; the section's offset comes from
+  // the v2 table at byte 16), and a negative value passes every IoError
+  // check in load_model but is rejected by the detector's config
+  // validation (InvalidArgument). refresh() must survive it and keep
+  // the snapshot.
   {
     std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
     ASSERT_TRUE(f.good());
-    f.seekp(4 + 4 + 4 + 4 + 4);
+    std::uint64_t config_offset = 0;
+    f.seekg(16);
+    f.read(reinterpret_cast<char*>(&config_offset), sizeof(config_offset));
+    f.seekp(static_cast<std::streamoff>(config_offset + 4 + 4 + 4));
     const double bad_threshold = -1.0;
     f.write(reinterpret_cast<const char*>(&bad_threshold),
             sizeof(bad_threshold));
@@ -182,6 +192,126 @@ TEST_F(DetectorRegistryTest, RepointedKeyReloadsFromNewPath) {
 TEST_F(DetectorRegistryTest, AddDirectoryRejectsNonDirectories) {
   api::DetectorRegistry registry(1);
   EXPECT_THROW(registry.add_directory((dir_ / "nope").string()), IoError);
+}
+
+TEST_F(DetectorRegistryTest, SlowLoadOfOneKeyDoesNotBlockOthers) {
+  // The load-outside-lock contract: while key A's first load is stuck in
+  // artifact I/O, get("B") must complete. The loader seam parks A's load
+  // on a semaphore; under the old load-under-registry-mutex design this
+  // test deadlocks (ctest's timeout turns that into a failure).
+  const std::string slow_path =
+      save_artifact("slow", ModelKind::kRandomForest, 3);
+  save_artifact("fast", ModelKind::kBaggedLogistic, 3);
+
+  api::DetectorRegistry registry(1);
+  registry.add_directory(dir_.string());
+
+  std::atomic<bool> slow_entered{false};
+  std::atomic<bool> slow_finished{false};
+  std::binary_semaphore release_slow{0};
+  registry.set_loader_for_testing(
+      [&](const std::string& path, int n_threads) {
+        if (path == slow_path) {
+          slow_entered.store(true);
+          release_slow.acquire();  // park inside the "I/O"
+        }
+        return std::make_shared<const core::TrustedHmd>(
+            core::load_model(path, n_threads));
+      });
+
+  std::thread slow_caller([&] {
+    const auto hmd = registry.get("slow");
+    EXPECT_EQ(hmd->config().n_members, 3);
+    slow_finished.store(true);
+  });
+  while (!slow_entered.load()) std::this_thread::yield();
+
+  // A's load is parked. B must load and return on this thread now.
+  const auto fast = registry.get("fast");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_EQ(fast->config().model, ModelKind::kBaggedLogistic);
+  // And the hot-swap sweep must skip the parked lazy entry instead of
+  // queueing behind its load mutex — a refresh() completes right now.
+  EXPECT_TRUE(registry.refresh().empty());
+  EXPECT_FALSE(slow_finished.load());  // A really was still in-flight
+
+  release_slow.release();
+  slow_caller.join();
+  EXPECT_EQ(registry.get("slow")->config().model, ModelKind::kRandomForest);
+}
+
+TEST_F(DetectorRegistryTest, ConcurrentFirstGetLoadsAtMostOnce) {
+  save_artifact("model", ModelKind::kRandomForest, 3);
+  api::DetectorRegistry registry(1);
+  registry.add_directory(dir_.string());
+
+  std::atomic<int> loads{0};
+  registry.set_loader_for_testing(
+      [&](const std::string& path, int n_threads) {
+        loads.fetch_add(1);
+        return std::make_shared<const core::TrustedHmd>(
+            core::load_model(path, n_threads));
+      });
+
+  constexpr int kCallers = 8;
+  std::vector<std::thread> callers;
+  std::vector<std::shared_ptr<const core::TrustedHmd>> seen(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&, i] { seen[i] = registry.get("model"); });
+  }
+  for (auto& thread : callers) thread.join();
+
+  // One load for the whole wave, and every caller got the same snapshot.
+  EXPECT_EQ(loads.load(), 1);
+  for (int i = 1; i < kCallers; ++i) EXPECT_EQ(seen[i].get(), seen[0].get());
+}
+
+TEST_F(DetectorRegistryTest, ConcurrentGetAndRefreshStress) {
+  // Hammer get() on several keys from reader threads while one thread
+  // refresh()es and the main thread keeps rename-publishing a retrained
+  // artifact over one key — the traffic pattern of a serving process
+  // taking field updates. Every snapshot must be usable, and the final
+  // state must reflect the last publish. (This is the test the TSan CI
+  // job exists for.)
+  const std::vector<std::string> keys = {"hot", "cold_a", "cold_b"};
+  save_artifact("hot", ModelKind::kRandomForest, 3);
+  save_artifact("cold_a", ModelKind::kBaggedLogistic, 3);
+  save_artifact("cold_b", ModelKind::kRandomForest, 5);
+
+  api::DetectorRegistry registry(1);
+  registry.add_directory(dir_.string());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&, i] {
+      const auto& x = test::small_dvfs().test.X;
+      while (!stop.load()) {
+        const auto hmd = registry.get(keys[static_cast<std::size_t>(i)]);
+        ASSERT_NE(hmd, nullptr);
+        // Serve a real (tiny) batch so a torn swap would be observable.
+        ASSERT_EQ(hmd->detect_batch(x).size(), x.rows());
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    while (!stop.load()) {
+      registry.refresh();
+      std::this_thread::yield();
+    }
+  });
+
+  // Field updates: grow the hot key's ensemble a few times mid-traffic.
+  for (const int members : {5, 7, 9}) {
+    save_artifact("hot", ModelKind::kRandomForest, members, /*seed=*/11);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+
+  registry.refresh();  // deterministic final sync
+  EXPECT_EQ(registry.get("hot")->config().n_members, 9);
+  EXPECT_EQ(registry.get("cold_a")->config().n_members, 3);
 }
 
 }  // namespace

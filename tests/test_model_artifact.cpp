@@ -1,7 +1,11 @@
 // Model artifact (.hmdf): a saved detector must reload as a serving-only
 // detector — no ml::Bagging on the path — emitting bit-identical
 // Detections and Estimates; corrupt, truncated, or version-mismatched
-// artifacts must be rejected loudly, never misread.
+// artifacts must be rejected loudly, never misread. The v2 zero-copy
+// layout adds: mmap-loaded and buffer-read engines are bit-identical to
+// each other and to the trained detector, misaligned or out-of-range
+// section offsets are rejected, and v1 files still load via the stream
+// path.
 
 #include <gtest/gtest.h>
 
@@ -40,6 +44,30 @@ class ModelArtifactTest : public ::testing::Test {
     ASSERT_TRUE(f.is_open());
     f.seekp(static_cast<std::streamoff>(offset));
     f.write(&value, 1);
+  }
+
+  /// Read a little-endian u64 at `offset` (section-table spelunking).
+  std::uint64_t read_u64(std::uintmax_t offset) {
+    std::ifstream f(path_, std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(offset));
+    std::uint64_t value = 0;
+    f.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return value;
+  }
+
+  /// Overwrite a little-endian u64 at `offset`.
+  void write_u64(std::uintmax_t offset, std::uint64_t value) {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+
+  /// File offset of v2 section `index` (0 config, 1 scaler, 2 engine),
+  /// read from the section table at byte 16 — the tests never hard-code
+  /// section positions, only the documented table location.
+  std::uint64_t section_offset(int index) {
+    return read_u64(16 + static_cast<std::uintmax_t>(index) * 16);
   }
 
   core::TrustedHmd train(core::ModelKind kind, int members = 25) {
@@ -153,20 +181,139 @@ TEST_F(ModelArtifactTest, VersionMismatchIsRejectedNotMisread) {
 
 TEST_F(ModelArtifactTest, UnknownEngineTagIsRejected) {
   core::save_model(train(core::ModelKind::kRandomForest), path_);
-  // Format v1, tree model: engine id is a u32 at offset 8 (magic+version)
-  // + 44 (config block) + 1 (has_scaler = 0 for trees).
-  corrupt_byte(53, 0x7e);
+  // The engine id is the u32 opening the engine section (table entry 2).
+  corrupt_byte(section_offset(2), 0x7e);
   EXPECT_THROW(core::load_model(path_), IoError);
 }
 
 TEST_F(ModelArtifactTest, CorruptForestFeatureWidthIsRejected) {
   core::save_model(train(core::ModelKind::kRandomForest), path_);
-  // Format v1, tree model: the forest blob's u64 feature width starts at
-  // offset 57 (header 8 + config 44 + has_scaler 1 + engine id 4).
+  // The forest blob's u64 feature width follows the engine-id u32.
   // Zeroing its low byte makes the width implausible; the loader must
   // throw rather than hand the traversal an arena it could misindex.
-  corrupt_byte(57, 0);
+  corrupt_byte(section_offset(2) + 4, 0);
   EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, MisalignedSectionOffsetIsRejected) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  // Nudge the *config* section's table entry off its 64-byte boundary.
+  // The config section is followed by alignment padding, so offset+4 and
+  // its size stay comfortably in bounds — only the alignment check can
+  // reject it, which is exactly what this test pins down.
+  const std::uint64_t config_offset = section_offset(0);
+  write_u64(16 + 0 * 16, config_offset + 4);
+  EXPECT_THROW(core::load_model(path_), IoError);
+  write_u64(16 + 0 * 16, config_offset);  // restore
+
+  // An out-of-bounds offset (aligned or not) is equally rejected.
+  write_u64(16 + 2 * 16, std::uint64_t{1} << 40);
+  EXPECT_THROW(core::load_model(path_), IoError);
+}
+
+TEST_F(ModelArtifactTest, TruncatedSectionTableIsRejected) {
+  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  // Chop the file inside the section table (16 + 3×16 = 64 bytes): the
+  // header still advertises a v2 artifact, but parsing the table must
+  // throw, never read past the mapping.
+  for (const std::uintmax_t keep : {60, 40, 17}) {
+    std::filesystem::resize_file(path_, keep);
+    EXPECT_TRUE(core::model_exists(path_));
+    EXPECT_THROW(core::load_model(path_), IoError) << "kept " << keep;
+  }
+}
+
+TEST_F(ModelArtifactTest, MmapAndStreamLoadsAreBitIdentical) {
+  // The zero-copy acceptance gate: for every ModelKind at M ∈ {1, 5,
+  // 100}, an mmap-loaded engine and a full-copy-loaded engine emit
+  // outputs bit-identical to the trained detector (and therefore to each
+  // other) on both bundles' feature distributions.
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic,
+        core::ModelKind::kBaggedSvm}) {
+    for (const int members : {1, 5, 100}) {
+      SCOPED_TRACE(core::model_kind_name(kind) + " M=" +
+                   std::to_string(members));
+      const core::TrustedHmd trained = train(kind, members);
+      core::save_model(trained, path_);
+
+      const core::TrustedHmd mapped =
+          core::load_model(path_, 0, core::LoadMode::kMmap);
+      const core::TrustedHmd copied =
+          core::load_model(path_, 0, core::LoadMode::kStream);
+      EXPECT_TRUE(mapped.engine().zero_copy());
+      EXPECT_FALSE(copied.engine().zero_copy());
+
+      expect_bit_identical_outputs(trained, mapped,
+                                   test::small_dvfs().test.X);
+      expect_bit_identical_outputs(trained, copied,
+                                   test::small_dvfs().test.X);
+      expect_bit_identical_outputs(trained, mapped,
+                                   test::small_dvfs().unknown.X);
+    }
+  }
+}
+
+TEST_F(ModelArtifactTest, MmapRoundTripsOnHpcBundleToo) {
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic,
+        core::ModelKind::kBaggedSvm}) {
+    for (const int members : {1, 5, 100}) {
+      SCOPED_TRACE(core::model_kind_name(kind) + " M=" +
+                   std::to_string(members));
+      core::HmdConfig config;
+      config.model = kind;
+      config.n_members = members;
+      config.seed = 9;
+      core::TrustedHmd trained(config);
+      trained.fit(test::small_hpc().train);
+      core::save_model(trained, path_);
+      const core::TrustedHmd mapped =
+          core::load_model(path_, 0, core::LoadMode::kMmap);
+      expect_bit_identical_outputs(trained, mapped, test::small_hpc().test.X);
+    }
+  }
+}
+
+TEST_F(ModelArtifactTest, V1FallbackRoundTripIsBitIdentical) {
+  // A v1 artifact (the pre-zero-copy stream layout) must still load —
+  // through the stream path, owned storage, same outputs — whatever
+  // LoadMode the caller asks for.
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic}) {
+    SCOPED_TRACE(core::model_kind_name(kind));
+    const core::TrustedHmd trained = train(kind);
+    core::save_model(trained, path_, core::kModelFormatV1);
+    ASSERT_TRUE(core::model_exists(path_));
+    for (const auto mode : {core::LoadMode::kAuto, core::LoadMode::kMmap,
+                            core::LoadMode::kStream}) {
+      const core::TrustedHmd served = core::load_model(path_, 0, mode);
+      EXPECT_FALSE(served.engine().zero_copy());
+      expect_bit_identical_outputs(trained, served,
+                                   test::small_dvfs().test.X);
+    }
+  }
+}
+
+TEST_F(ModelArtifactTest, MappedDetectorSurvivesRenamePublishedSwap) {
+  // The hot-swap guarantee at the mapping level: a detector serving from
+  // a mapped artifact keeps emitting the *old* model's outputs, bit for
+  // bit, after save_model rename-publishes a different model over the
+  // same path — the old inode stays alive under the mapping.
+  const core::TrustedHmd first = train(core::ModelKind::kRandomForest, 25);
+  core::save_model(first, path_);
+  const core::TrustedHmd mapped =
+      core::load_model(path_, 0, core::LoadMode::kMmap);
+  ASSERT_TRUE(mapped.engine().zero_copy());
+
+  core::save_model(train(core::ModelKind::kBaggedSvm, 7), path_);
+  expect_bit_identical_outputs(first, mapped, test::small_dvfs().test.X);
+
+  // And the path now serves the replacement.
+  const core::TrustedHmd swapped =
+      core::load_model(path_, 0, core::LoadMode::kMmap);
+  EXPECT_EQ(swapped.config().model, core::ModelKind::kBaggedSvm);
+  EXPECT_EQ(swapped.config().n_members, 7);
 }
 
 TEST_F(ModelArtifactTest, ServedDetectorRejectsWrongWidthInputs) {

@@ -12,15 +12,22 @@
 // restart, and snapshots held by in-flight batches stay valid.
 //
 // --swap-with=PATH is a built-in hot-swap self-check: halfway through the
-// run the first model's artifact is overwritten with PATH's bytes and
-// refresh() must report the reload (exit 1 otherwise) while the
-// pre-swap snapshot keeps scoring — the proof that a process can take a
-// field update mid-traffic.
+// run the first model's artifact is replaced with PATH's bytes — published
+// via temp file + rename, the only safe way to swap an artifact other
+// processes may be mmap-serving — and refresh() must report the reload
+// (exit 1 otherwise) while the pre-swap snapshot keeps scoring — the
+// proof that a process can take a field update mid-traffic.
+//
+// --mmap picks how artifact bytes are materialised: on requires a
+// mapping (v2 artifacts served in place — model residency = pages
+// actually touched), off forces the full-copy read path. Without the
+// flag the mode is auto: map, falling back to a full read if the
+// mapping fails.
 //
 // usage: hmd_serve [--models=DIR] [model.hmdf ...] [--dataset=dvfs|hpc]
 //                  [--batches=N] [--threads=N] [--scale=F]
 //                  [--model=rf|lr|svm] [--outputs=prediction|detect|estimate]
-//                  [--refresh-every=N] [--swap-with=PATH]
+//                  [--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]]
 
 #include <algorithm>
 #include <chrono>
@@ -49,7 +56,7 @@ using clock_type = std::chrono::steady_clock;
       "usage: hmd_serve [--models=DIR] [model.hmdf ...] "
       "[--dataset=dvfs|hpc] [--batches=N] [--threads=N] [--scale=F] "
       "[--model=rf|lr|svm] [--outputs=prediction|detect|estimate] "
-      "[--refresh-every=N] [--swap-with=PATH]\n",
+      "[--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -64,6 +71,7 @@ struct ServeArgs {
   std::optional<core::ModelKind> model_filter;
   api::OutputMask outputs = api::kDetectionOutputs;
   std::string outputs_name = "detect";
+  core::LoadMode load_mode = core::LoadMode::kAuto;
   bench::BenchOptions options;
 };
 
@@ -107,6 +115,10 @@ ServeArgs parse_args(int argc, char** argv) {
       if (args.refresh_every < 1) usage_error(arg);
     } else if (arg.rfind("--swap-with=", 0) == 0) {
       args.swap_with = value_of("--swap-with=");
+    } else if (arg == "--mmap" || arg == "--mmap=on") {
+      args.load_mode = core::LoadMode::kMmap;
+    } else if (arg == "--mmap=off") {
+      args.load_mode = core::LoadMode::kStream;
     } else if (arg == "--estimate") {  // legacy spelling
       args.outputs = api::kEstimateOutputs;
       args.outputs_name = "estimate";
@@ -135,11 +147,23 @@ struct ServedModel {
 };
 
 void describe(const std::string& key, const core::TrustedHmd& hmd) {
-  std::printf("model    %-24s %s x%d, engine %s (%zu KiB), threshold %.2f\n",
+  std::printf("model    %-24s %s x%d, engine %s (%zu KiB%s), threshold %.2f\n",
               key.c_str(), core::model_kind_name(hmd.config().model).c_str(),
               hmd.config().n_members, hmd.engine().name().c_str(),
               hmd.engine().memory_bytes() / 1024,
+              hmd.engine().zero_copy() ? ", zero-copy" : "",
               hmd.config().entropy_threshold);
+}
+
+/// Replace `target` with `source`'s bytes the only way that is safe
+/// against other processes serving `target` from a mapping: copy to a
+/// sibling temp file, then rename into place. The old inode — and every
+/// live mapping of it — survives until its last reader drops it.
+void publish_over(const std::string& source, const std::string& target) {
+  const std::string tmp = target + ".swap.tmp";
+  std::filesystem::copy_file(
+      source, tmp, std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::rename(tmp, target);
 }
 
 }  // namespace
@@ -147,7 +171,7 @@ void describe(const std::string& key, const core::TrustedHmd& hmd) {
 int main(int argc, char** argv) {
   const ServeArgs args = parse_args(argc, argv);
 
-  api::DetectorRegistry registry(args.options.n_threads);
+  api::DetectorRegistry registry(args.options.n_threads, args.load_mode);
   if (!args.models_dir.empty()) {
     const std::size_t found = registry.add_directory(args.models_dir);
     std::printf("registry scanned %s: %zu artifact(s)\n",
@@ -192,8 +216,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hmd_serve: no models to serve\n");
     return 1;
   }
-  std::printf("serving  %zu model(s), outputs=%s, refresh every %d rounds\n",
-              served.size(), args.outputs_name.c_str(), args.refresh_every);
+  const char* mode_name = args.load_mode == core::LoadMode::kMmap ? "mmap"
+                          : args.load_mode == core::LoadMode::kStream
+                              ? "stream"
+                              : "auto";
+  std::printf(
+      "serving  %zu model(s), outputs=%s, load=%s, refresh every %d rounds\n",
+      served.size(), args.outputs_name.c_str(), mode_name, args.refresh_every);
 
   const data::DatasetBundle bundle = args.dataset == "dvfs"
                                          ? bench::dvfs_bundle(args.options)
@@ -213,9 +242,7 @@ int main(int argc, char** argv) {
       // before the swap keeps serving the old version.
       ServedModel& target = served.front();
       const auto before = registry.get(target.key);
-      std::filesystem::copy_file(
-          args.swap_with, target.path,
-          std::filesystem::copy_options::overwrite_existing);
+      publish_over(args.swap_with, target.path);
       const auto reloaded = registry.refresh();
       const auto after = registry.get(target.key);
       before->detect_batch(bundle.test.X);  // old snapshot still serves
