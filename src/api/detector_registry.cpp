@@ -2,7 +2,11 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace hmd::api {
 
@@ -31,6 +35,46 @@ ArtifactStat stat_artifact(const std::string& path) {
                  static_cast<std::int64_t>(mtime.tv_nsec);
   out.bytes = static_cast<std::uintmax_t>(st.st_size);
   return out;
+}
+
+/// Normalise any load failure to the typed taxonomy. Non-LoadError
+/// exceptions (InvalidArgument for a rejected config, a foreign
+/// std::exception from a custom loader) are content problems a re-read
+/// cannot fix, so they classify as persistent kBadStructure.
+LoadError as_load_error(const std::string& path, const std::exception& e) {
+  if (const auto* typed = dynamic_cast<const LoadError*>(&e)) return *typed;
+  return LoadError(LoadErrorCode::kBadStructure, path, e.what());
+}
+
+/// Backoff before retry number `completed_attempts + 1`: exponential,
+/// capped, jittered by a uniform draw from [1 - jitter, 1] so entries
+/// failing together do not re-probe in lockstep.
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        int completed_attempts) {
+  double ms = static_cast<double>(std::max(0, policy.initial_backoff_ms));
+  for (int i = 1; i < completed_attempts; ++i) {
+    ms *= std::max(1, policy.backoff_multiplier);
+    if (ms >= policy.max_backoff_ms) break;
+  }
+  ms = std::min(ms, static_cast<double>(std::max(0, policy.max_backoff_ms)));
+  if (policy.jitter > 0.0) {
+    // xorshift64*: no shared state, no <random> engine construction on a
+    // path that exists to sleep anyway.
+    thread_local std::uint64_t state =
+        0x9E3779B97F4A7C15ull ^
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()) ^
+        (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1);
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const double u =
+        static_cast<double>((state * 0x2545F4914F6CDD1Dull) >> 11) /
+        static_cast<double>(std::uint64_t{1} << 53);
+    ms *= 1.0 - std::min(1.0, policy.jitter) * u;
+  }
+  return std::chrono::milliseconds(
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(ms)));
 }
 
 }  // namespace
@@ -87,12 +131,70 @@ std::shared_ptr<DetectorRegistry::Entry> DetectorRegistry::find_entry(
   return it == entries_.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<const core::TrustedHmd> DetectorRegistry::attempt_load(
+    const std::string& path) const {
+  // Armed with error:... this makes the whole load attempt fail before
+  // any I/O — the seam the retry/quarantine tests (and the chaos script,
+  // via HMD_FAILPOINTS) drive.
+  HMD_FAILPOINT("registry.load", path.c_str());
+  try {
+    return loader_(path, n_threads_);
+  } catch (const LoadError& error) {
+    if (error.code() != LoadErrorCode::kMmapFailed) throw;
+    // mmap specifically failed (a LoadMode::kMmap registry on a
+    // filesystem without working mmap, or an injected fault): demote
+    // this load to the full-copy stream path instead of failing the
+    // model — graceful degradation, not an outage.
+    return std::make_shared<const core::TrustedHmd>(
+        core::load_model(path, n_threads_, core::LoadMode::kStream));
+  }
+}
+
 void DetectorRegistry::load_entry(Entry& entry) const {
-  const ArtifactStat stat = stat_artifact(entry.path);
-  auto detector = loader_(entry.path, n_threads_);
-  const std::lock_guard<std::mutex> lock(entry.state_mutex);
-  entry.detector = std::move(detector);
-  entry.stat = stat;
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  std::uint64_t extra_attempts = 0;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      const ArtifactStat stat = stat_artifact(entry.path);
+      auto detector = attempt_load(entry.path);
+      const std::lock_guard<std::mutex> lock(entry.state_mutex);
+      entry.detector = std::move(detector);
+      entry.stat = stat;
+      entry.health = HealthState::kHealthy;
+      ++entry.loads_ok;
+      entry.retries += extra_attempts;
+      entry.consecutive_failures = 0;
+      return;
+    } catch (const std::exception& e) {
+      const LoadError error = as_load_error(entry.path, e);
+      if (error.transient() && attempt < max_attempts) {
+        // Transient (torn publish, flaky I/O): back off and retry inside
+        // this operation. The sleep holds only this entry's load_mutex —
+        // other keys' gets and refreshes proceed untouched.
+        ++extra_attempts;
+        std::this_thread::sleep_for(backoff_delay(policy_, attempt));
+        continue;
+      }
+      // Operation failed: record health (stat intentionally untouched,
+      // so a later refresh() always sees a repaired file as changed).
+      const std::lock_guard<std::mutex> lock(entry.state_mutex);
+      ++entry.loads_failed;
+      entry.retries += extra_attempts;
+      ++entry.consecutive_failures;
+      entry.last_error_code = error.code();
+      entry.last_error = error.what();
+      if (policy_.quarantine_after > 0 &&
+          entry.consecutive_failures >= policy_.quarantine_after) {
+        entry.health = HealthState::kQuarantined;
+        entry.quarantine_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(std::max(0, policy_.quarantine_ms));
+      } else {
+        entry.health = HealthState::kDegraded;
+      }
+      throw error;
+    }
+  }
 }
 
 std::shared_ptr<const core::TrustedHmd> DetectorRegistry::get(
@@ -117,6 +219,21 @@ std::shared_ptr<const core::TrustedHmd> DetectorRegistry::try_get(
   // not held, so callers of other keys proceed untouched.
   const std::lock_guard<std::mutex> load_lock(entry->load_mutex);
   if (auto loaded = snapshot(*entry)) return loaded;  // double-check
+  {
+    // Quarantine gate (never-loaded entries only; loaded ones returned
+    // above): fail fast on the cached error instead of hammering a path
+    // that just failed repeatedly. After the TTL, fall through — one
+    // real probe that either heals the entry or re-arms the quarantine.
+    const std::lock_guard<std::mutex> state_lock(entry->state_mutex);
+    if (entry->health == HealthState::kQuarantined &&
+        std::chrono::steady_clock::now() < entry->quarantine_until) {
+      throw LoadError(
+          entry->last_error_code, entry->path,
+          "quarantined after " +
+              std::to_string(entry->consecutive_failures) +
+              " consecutive load failures; last: " + entry->last_error);
+    }
+  }
   load_entry(*entry);
   return snapshot(*entry);
 }
@@ -138,6 +255,13 @@ std::vector<std::string> DetectorRegistry::refresh() {
     {
       const std::lock_guard<std::mutex> state_lock(entry->state_mutex);
       if (entry->detector == nullptr) continue;  // still lazy: nothing to swap
+      // A quarantined entry is left alone until its TTL expires — no
+      // stat, no load. (It keeps serving its last-good snapshot; only
+      // the *replacement* probing is suppressed.)
+      if (entry->health == HealthState::kQuarantined &&
+          std::chrono::steady_clock::now() < entry->quarantine_until) {
+        continue;
+      }
     }
     const std::lock_guard<std::mutex> load_lock(entry->load_mutex);
     ArtifactStat last_stat;
@@ -159,6 +283,44 @@ std::vector<std::string> DetectorRegistry::refresh() {
     }
   }
   return reloaded;
+}
+
+ModelHealth DetectorRegistry::health_of(const std::string& key,
+                                        const Entry& entry) {
+  const std::lock_guard<std::mutex> lock(entry.state_mutex);
+  ModelHealth out;
+  out.key = key;
+  out.state = entry.health;
+  out.loaded = entry.detector != nullptr;
+  out.loads_ok = entry.loads_ok;
+  out.loads_failed = entry.loads_failed;
+  out.retries = entry.retries;
+  out.consecutive_failures = entry.consecutive_failures;
+  out.last_error_code = entry.last_error_code;
+  out.last_error = entry.last_error;
+  return out;
+}
+
+std::vector<ModelHealth> DetectorRegistry::health() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> items;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    items.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) items.emplace_back(key, entry);
+  }
+  std::vector<ModelHealth> out;
+  out.reserve(items.size());
+  // Map iteration order is already key-sorted.
+  for (const auto& [key, entry] : items) out.push_back(health_of(key, *entry));
+  return out;
+}
+
+ModelHealth DetectorRegistry::health(const std::string& key) const {
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (entry == nullptr) {
+    throw IoError("DetectorRegistry: unknown model key '" + key + "'");
+  }
+  return health_of(key, *entry);
 }
 
 std::vector<std::string> DetectorRegistry::keys() const {

@@ -39,8 +39,35 @@
 // installs a *fresh* entry, so an in-flight load of the old path can
 // only ever publish into the orphaned entry, never into the new one.
 //
-// All members are safe to call concurrently.
+// ## Failure handling: retry, quarantine, degrade — never crash serving
+//
+// Every load attempt resolves to a typed LoadError (common/error.h).
+// The registry's response depends on the error's class:
+//
+//   - *transient* codes (io / truncated / mmap-failed — a publish caught
+//     mid-write, a flaky filesystem) are retried inside the load
+//     operation with exponential backoff + jitter (RetryPolicy), bounded
+//     by max_attempts;
+//   - kMmapFailed additionally falls back to one stream-mode load before
+//     counting as a failure — a filesystem without working mmap demotes
+//     the entry to copied bytes, it does not take the model down;
+//   - *persistent* codes (checksum / bad-magic / bad-version /
+//     bad-structure) fail the operation immediately — the bytes are
+//     wrong and re-reading them cannot help.
+//
+// A failed operation leaves the last good snapshot serving (kDegraded);
+// quarantine_after consecutive failures quarantine the entry: get() on
+// a quarantined, never-loaded key fails fast on the cached error
+// (no I/O), refresh() skips the entry entirely, and after quarantine_ms
+// the next get()/refresh() re-probes — one real load attempt that either
+// heals the entry or re-arms the quarantine. Failed loads never update
+// the recorded artifact stat, so a repaired file is always seen as
+// changed. health() exposes the whole state machine per key.
+//
+// All members are safe to call concurrently (the policy/loader setters
+// excepted; see their comments).
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -50,6 +77,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "core/hmd.h"
 #include "core/model_artifact.h"
 
@@ -64,6 +92,60 @@ struct ArtifactStat {
   std::uintmax_t bytes = 0;
 
   friend bool operator==(const ArtifactStat&, const ArtifactStat&) = default;
+};
+
+/// How the registry responds to failing loads (see file header). The
+/// defaults retry a torn-publish-sized window (~10 + 40 ms) and
+/// quarantine after three consecutive failed operations for five
+/// seconds.
+struct RetryPolicy {
+  /// Attempts per load operation (first try included). Only transient
+  /// errors are retried; persistent ones fail the operation on attempt 1.
+  int max_attempts = 3;
+  int initial_backoff_ms = 10;
+  /// Each retry multiplies the backoff by this, capped at max_backoff_ms.
+  int backoff_multiplier = 4;
+  int max_backoff_ms = 250;
+  /// Every sleep is scaled by a uniform draw from [1 - jitter, 1], so a
+  /// fleet of entries failing together does not re-probe in lockstep.
+  double jitter = 0.5;
+  /// Consecutive failed operations before the entry is quarantined;
+  /// <= 0 disables quarantine (every get()/refresh() probes).
+  int quarantine_after = 3;
+  /// How long a quarantined entry refuses probes before re-trying.
+  int quarantine_ms = 5000;
+};
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,   ///< last load operation succeeded (or never needed)
+  kDegraded,      ///< failing, below the quarantine threshold
+  kQuarantined,   ///< failing repeatedly; probes gated by quarantine_ms
+};
+
+inline const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+/// Point-in-time health snapshot of one registry entry.
+struct ModelHealth {
+  std::string key;
+  HealthState state = HealthState::kHealthy;
+  /// True when a snapshot is being served (possibly an old one: a
+  /// degraded entry with loaded=true is serving last-good).
+  bool loaded = false;
+  std::uint64_t loads_ok = 0;
+  std::uint64_t loads_failed = 0;  ///< failed operations (post-retry)
+  std::uint64_t retries = 0;       ///< extra attempts inside operations
+  int consecutive_failures = 0;
+  /// Code/what() of the most recent failure; meaningful when
+  /// loads_failed > 0 (last_error empty otherwise).
+  LoadErrorCode last_error_code = LoadErrorCode::kIo;
+  std::string last_error;
 };
 
 class DetectorRegistry {
@@ -90,22 +172,31 @@ class DetectorRegistry {
   /// throws IoError when `dir` is not a directory.
   std::size_t add_directory(const std::string& dir);
 
-  /// Snapshot lookup. Loads the artifact on first use; throws IoError on
-  /// an unknown key, and propagates the loader's error (IoError, or
-  /// InvalidArgument for a well-formed file with a rejected config) on a
-  /// failed first load. The snapshot stays valid (and bit-stable) however
+  /// Snapshot lookup. Loads the artifact on first use (with the retry /
+  /// fallback discipline in the file header); throws IoError on an
+  /// unknown key and LoadError on a failed first load — a quarantined,
+  /// never-loaded key fails fast on its cached error without touching
+  /// the filesystem. The snapshot stays valid (and bit-stable) however
   /// many refresh() swaps happen after it.
   std::shared_ptr<const core::TrustedHmd> get(const std::string& key);
 
-  /// get() that returns nullptr for unknown keys instead of throwing.
+  /// get() that returns nullptr for unknown keys instead of throwing
+  /// (load failures still throw).
   std::shared_ptr<const core::TrustedHmd> try_get(const std::string& key);
 
   /// Re-stat every loaded artifact and hot-swap the changed ones (see
   /// file header). Returns the keys that were reloaded. Never-loaded
-  /// keys stay lazy; vanished or unreadable artifacts keep serving their
-  /// last good snapshot. Loads run outside the registry mutex, so a
-  /// refresh never stalls get() of other keys.
+  /// keys stay lazy; quarantined keys are skipped until their TTL
+  /// expires; vanished or unreadable artifacts keep serving their last
+  /// good snapshot. Loads run outside the registry mutex, so a refresh
+  /// never stalls get() of other keys.
   std::vector<std::string> refresh();
+
+  /// Health snapshots for every key (sorted by key), or for one key
+  /// (throws IoError when unknown). Lock-cheap: per-entry leaf locks
+  /// only, no I/O.
+  std::vector<ModelHealth> health() const;
+  ModelHealth health(const std::string& key) const;
 
   /// Registered keys, sorted.
   std::vector<std::string> keys() const;
@@ -122,6 +213,11 @@ class DetectorRegistry {
   /// serving starts — it is not synchronised against in-flight loads.
   void set_loader_for_testing(Loader loader) { loader_ = std::move(loader); }
 
+  /// Replace the failure-handling policy. Like the loader seam: call
+  /// before serving starts, not synchronised against in-flight loads.
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
   /// How this registry materialises artifact bytes.
   core::LoadMode load_mode() const { return load_mode_; }
 
@@ -132,7 +228,8 @@ class DetectorRegistry {
 
     const std::string path;  ///< immutable; re-pointing makes a new Entry
 
-    /// Serialises loads of this entry only; held across artifact I/O.
+    /// Serialises loads of this entry only; held across artifact I/O
+    /// (and across the in-operation retry sleeps).
     std::mutex load_mutex;
     /// Leaf lock for the published fields below (pointer-copy critical
     /// sections only — never held across I/O, never while taking
@@ -140,23 +237,46 @@ class DetectorRegistry {
     mutable std::mutex state_mutex;
     ArtifactStat stat;
     std::shared_ptr<const core::TrustedHmd> detector;  ///< null until loaded
+
+    // Health state machine (all guarded by state_mutex).
+    HealthState health = HealthState::kHealthy;
+    std::uint64_t loads_ok = 0;
+    std::uint64_t loads_failed = 0;
+    std::uint64_t retries = 0;
+    int consecutive_failures = 0;
+    LoadErrorCode last_error_code = LoadErrorCode::kIo;
+    std::string last_error;
+    /// Probes refused until this instant while health == kQuarantined.
+    std::chrono::steady_clock::time_point quarantine_until{};
   };
 
   /// The published snapshot (null when not yet loaded).
   static std::shared_ptr<const core::TrustedHmd> snapshot(const Entry& entry);
 
-  /// Load entry's artifact and publish it. Caller holds entry.load_mutex
-  /// (and no other lock). Records the stat taken *before* the read, so a
-  /// file swapped mid-load is seen as changed by the next refresh()
-  /// rather than missed.
+  /// Load entry's artifact with retry/backoff/fallback and publish it —
+  /// or record the failure (health bookkeeping, quarantine arming) and
+  /// rethrow the final LoadError. Caller holds entry.load_mutex (and no
+  /// other lock). Records the stat taken *before* the read, so a file
+  /// swapped mid-load is seen as changed by the next refresh() rather
+  /// than missed; a failed operation leaves the stat untouched, so the
+  /// next refresh() always retries a repaired file.
   void load_entry(Entry& entry) const;
+
+  /// One physical load attempt: the registry.load failpoint, the loader,
+  /// and the one-shot stream fallback on kMmapFailed.
+  std::shared_ptr<const core::TrustedHmd> attempt_load(
+      const std::string& path) const;
 
   /// The entry registered under `key`, or null (brief map-lock lookup).
   std::shared_ptr<Entry> find_entry(const std::string& key) const;
 
+  /// Fill a ModelHealth from one entry (takes the entry's leaf lock).
+  static ModelHealth health_of(const std::string& key, const Entry& entry);
+
   int n_threads_ = 0;
   core::LoadMode load_mode_ = core::LoadMode::kAuto;
   Loader loader_;
+  RetryPolicy policy_;
   mutable std::mutex mutex_;  ///< guards entries_ (the map) only
   std::map<std::string, std::shared_ptr<Entry>> entries_;
 };

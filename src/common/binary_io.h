@@ -1,8 +1,11 @@
 #pragma once
 // Little-endian binary stream helpers shared by every on-disk artefact
 // (the `.hmdb` dataset cache and the `.hmdf` model artifact). Readers
-// throw IoError on truncation so a short file can never be misread as a
-// smaller-but-valid payload.
+// throw a typed LoadError (common/error.h) on truncation or misparse —
+// kTruncated / kBadStructure, reporting the file, the byte offset, and
+// expected vs actual sizes — so a short file can never be misread as a
+// smaller-but-valid payload and callers can tell a torn publish from a
+// corrupt one.
 //
 // Two layers live here:
 //   - write_pod/read_pod/write_span/read_span/write_vec/read_vec stream
@@ -31,6 +34,23 @@ static_assert(std::endian::native == std::endian::little,
 
 namespace hmd::io {
 
+/// Build the typed truncation error for a failed stream read: where the
+/// read stopped, how many bytes it wanted, how many it got. `in` is dead
+/// after a short read; clearing its state is only to recover tellg() for
+/// the report.
+inline LoadError short_read_error(std::istream& in, std::size_t wanted,
+                                  const std::string& context) {
+  const auto got = static_cast<long long>(in.gcount());
+  in.clear();
+  const auto pos = static_cast<long long>(in.tellg());
+  return LoadError(
+      LoadErrorCode::kTruncated, context,
+      "short read" +
+          (pos >= 0 ? " at byte offset " + std::to_string(pos - got) : "") +
+          ": expected " + std::to_string(wanted) + " bytes, got " +
+          std::to_string(got));
+}
+
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -42,7 +62,7 @@ template <typename T>
 void read_pod(std::istream& in, T& value, const std::string& context) {
   static_assert(std::is_trivially_copyable_v<T>);
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw IoError("truncated " + context);
+  if (!in) throw short_read_error(in, sizeof(T), context);
 }
 
 /// Write `n` contiguous POD elements with one stream operation.
@@ -59,7 +79,7 @@ void read_span(std::istream& in, T* data, std::size_t n,
   static_assert(std::is_trivially_copyable_v<T>);
   in.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(n * sizeof(T)));
-  if (!in) throw IoError("truncated " + context);
+  if (!in) throw short_read_error(in, n * sizeof(T), context);
 }
 
 template <typename T>
@@ -76,7 +96,11 @@ void read_vec(std::istream& in, std::vector<T>& values,
               std::uint64_t max_elems = std::uint64_t{1} << 32) {
   std::uint64_t n = 0;
   read_pod(in, n, context);
-  if (n > max_elems) throw IoError("implausible element count in " + context);
+  if (n > max_elems) {
+    throw LoadError(LoadErrorCode::kBadStructure, context,
+                    "implausible element count " + std::to_string(n) +
+                        " (max " + std::to_string(max_elems) + ")");
+  }
   values.resize(n);
   read_span(in, values.data(), values.size(), context);
 }
@@ -140,10 +164,14 @@ class ByteReader {
   /// offset is outside the buffer or not `alignment`-byte aligned.
   void seek(std::uint64_t offset, std::size_t alignment) {
     if (offset > size_) {
-      throw IoError("section offset past end of " + context_);
+      throw LoadError(LoadErrorCode::kTruncated, context_,
+                      "section offset " + std::to_string(offset) +
+                          " past end of file (" + std::to_string(size_) +
+                          " bytes)");
     }
     if (offset % alignment != 0) {
-      throw IoError("misaligned section offset in " + context_);
+      throw LoadError(LoadErrorCode::kBadStructure, context_,
+                      "misaligned section offset " + std::to_string(offset));
     }
     pos_ = static_cast<std::size_t>(offset);
   }
@@ -154,14 +182,14 @@ class ByteReader {
     const std::size_t rem = pos_ % alignment;
     if (rem == 0) return;
     const std::size_t pad = alignment - rem;
-    if (pad > remaining()) throw IoError("truncated " + context_);
+    if (pad > remaining()) throw truncated_error(pad);
     pos_ += pad;
   }
 
   template <typename T>
   T read_pod() {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (sizeof(T) > remaining()) throw IoError("truncated " + context_);
+    if (sizeof(T) > remaining()) throw truncated_error(sizeof(T));
     T value;
     std::memcpy(&value, base_ + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -175,10 +203,12 @@ class ByteReader {
   const T* view_span(std::size_t n) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (n > remaining() / sizeof(T)) {
-      throw IoError("truncated " + context_);
+      throw truncated_error(n * sizeof(T));
     }
     if (reinterpret_cast<std::uintptr_t>(base_ + pos_) % alignof(T) != 0) {
-      throw IoError("misaligned array in " + context_);
+      throw LoadError(LoadErrorCode::kBadStructure, context_,
+                      "misaligned array at byte offset " +
+                          std::to_string(pos_));
     }
     const T* view = reinterpret_cast<const T*>(base_ + pos_);
     pos_ += n * sizeof(T);
@@ -188,6 +218,13 @@ class ByteReader {
   const std::string& context() const { return context_; }
 
  private:
+  LoadError truncated_error(std::size_t wanted) const {
+    return LoadError(LoadErrorCode::kTruncated, context_,
+                     "need " + std::to_string(wanted) +
+                         " bytes at byte offset " + std::to_string(pos_) +
+                         ", only " + std::to_string(remaining()) + " left");
+  }
+
   const std::byte* base_ = nullptr;
   std::size_t size_ = 0;
   std::size_t pos_ = 0;

@@ -1,0 +1,114 @@
+#pragma once
+// 64-bit content checksum for on-disk artefact sections (`.hmdf` v2
+// carries one per section in its table — core/model_artifact.h).
+//
+// The function is XXH64 (Yann Collet's xxHash, public-domain algorithm):
+// a non-cryptographic hash that runs at memory speed by keeping four
+// independent 64-bit lanes in flight, so verifying an artifact costs one
+// sequential sweep of its bytes — prefetcher-friendly, unlike the
+// pointer-chasing structural walk it replaces on the load path. Any
+// single-bit difference in the input changes the digest (for integrity
+// purposes; this is NOT a MAC — an adversary who can write the file can
+// recompute the hash, see the trust note in core/model_artifact.h).
+//
+// The digest is part of the on-disk format: this implementation must
+// match the reference XXH64 bit for bit forever (asserted against the
+// published test vectors in tests/test_fault_injection.cpp).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace hmd::io {
+
+namespace detail {
+
+inline constexpr std::uint64_t kXxPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr std::uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr std::uint64_t kXxPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr std::uint64_t kXxPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr std::uint64_t kXxPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t xx_read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));  // artefacts are little-endian, as is
+  return v;                       // every supported host (static_assert
+}                                 // in binary_io.h)
+
+inline std::uint32_t xx_read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t xx_round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kXxPrime2;
+  acc = std::rotl(acc, 31);
+  return acc * kXxPrime1;
+}
+
+inline std::uint64_t xx_merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= xx_round(0, val);
+  return acc * kXxPrime1 + kXxPrime4;
+}
+
+}  // namespace detail
+
+/// XXH64 of `size` bytes at `data` with the given seed.
+inline std::uint64_t xxhash64(const void* data, std::size_t size,
+                              std::uint64_t seed = 0) {
+  using namespace detail;
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + size;
+  std::uint64_t h;
+
+  if (size >= 32) {
+    std::uint64_t v1 = seed + kXxPrime1 + kXxPrime2;
+    std::uint64_t v2 = seed + kXxPrime2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kXxPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = xx_round(v1, xx_read64(p));
+      v2 = xx_round(v2, xx_read64(p + 8));
+      v3 = xx_round(v3, xx_read64(p + 16));
+      v4 = xx_round(v4, xx_read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = std::rotl(v1, 1) + std::rotl(v2, 7) + std::rotl(v3, 12) +
+        std::rotl(v4, 18);
+    h = xx_merge_round(h, v1);
+    h = xx_merge_round(h, v2);
+    h = xx_merge_round(h, v3);
+    h = xx_merge_round(h, v4);
+  } else {
+    h = seed + kXxPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(size);
+  while (p + 8 <= end) {
+    h ^= xx_round(0, xx_read64(p));
+    h = std::rotl(h, 27) * kXxPrime1 + kXxPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(xx_read32(p)) * kXxPrime1;
+    h = std::rotl(h, 23) * kXxPrime2 + kXxPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kXxPrime5;
+    h = std::rotl(h, 11) * kXxPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kXxPrime2;
+  h ^= h >> 29;
+  h *= kXxPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace hmd::io

@@ -3,6 +3,7 @@
 // library. Preconditions throw (rather than abort) so that callers — tests
 // in particular — can assert on rejected inputs.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -24,6 +25,70 @@ class InvalidArgument : public HmdError {
 class IoError : public HmdError {
  public:
   using HmdError::HmdError;
+};
+
+/// Why a load of an on-disk artefact (`.hmdf` model, `.hmdb` bundle)
+/// failed. The split that matters operationally is transient vs
+/// persistent (load_error_transient below): a transient error is worth a
+/// bounded retry (the file may be mid-publish, the filesystem flaky); a
+/// persistent one means the bytes themselves are wrong and retrying the
+/// same inode can only fail again.
+enum class LoadErrorCode : std::uint8_t {
+  kBadMagic = 0,      ///< not an artefact of this kind at all
+  kBadVersion,        ///< recognised magic, unsupported format version
+  kChecksum,          ///< a section's stored hash does not match its bytes
+  kTruncated,         ///< payload ends before the layout says it should
+  kBadStructure,      ///< well-formed bytes carrying impossible geometry
+  kIo,                ///< open/read/stat failed (ENOENT, EIO, ...)
+  kMmapFailed,        ///< mmap specifically failed (stream read may work)
+};
+
+inline const char* load_error_code_name(LoadErrorCode code) {
+  switch (code) {
+    case LoadErrorCode::kBadMagic: return "bad-magic";
+    case LoadErrorCode::kBadVersion: return "bad-version";
+    case LoadErrorCode::kChecksum: return "checksum";
+    case LoadErrorCode::kTruncated: return "truncated";
+    case LoadErrorCode::kBadStructure: return "bad-structure";
+    case LoadErrorCode::kIo: return "io";
+    case LoadErrorCode::kMmapFailed: return "mmap-failed";
+  }
+  return "unknown";
+}
+
+/// True for errors a retry can plausibly fix: the file may be torn by a
+/// non-atomic foreign writer still mid-write (kTruncated), the read may
+/// have hit a flaky filesystem (kIo), or only the mapping path failed
+/// (kMmapFailed — callers should fall back to a stream read first).
+/// Checksum / magic / version / structure failures are properties of the
+/// bytes on disk; retrying the same file cannot change them.
+inline bool load_error_transient(LoadErrorCode code) {
+  return code == LoadErrorCode::kTruncated || code == LoadErrorCode::kIo ||
+         code == LoadErrorCode::kMmapFailed;
+}
+
+/// A typed artefact-load failure: which file, which failure class, and a
+/// human-readable detail. Derives from IoError so every pre-taxonomy
+/// `catch (const IoError&)` keeps working; new code should switch on
+/// code() instead of parsing what().
+class LoadError : public IoError {
+ public:
+  LoadError(LoadErrorCode code, std::string path, std::string detail)
+      : IoError("load error [" + std::string(load_error_code_name(code)) +
+                "] " + path + ": " + detail),
+        code_(code),
+        path_(std::move(path)),
+        detail_(std::move(detail)) {}
+
+  LoadErrorCode code() const { return code_; }
+  const std::string& path() const { return path_; }
+  const std::string& detail() const { return detail_; }
+  bool transient() const { return load_error_transient(code_); }
+
+ private:
+  LoadErrorCode code_;
+  std::string path_;
+  std::string detail_;
 };
 
 }  // namespace hmd

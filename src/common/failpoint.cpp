@@ -1,0 +1,166 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmd::fail {
+
+namespace {
+
+struct Site {
+  Spec spec;
+  bool armed = false;
+  int hits = 0;
+};
+
+/// One global table; failpoints are cold-path only, so a single mutex is
+/// plenty and keeps arm/disarm/point trivially race-free (the TSan job
+/// covers the registry suite that uses them).
+std::mutex& table_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Site>& table() {
+  static std::map<std::string, Site> t;
+  return t;
+}
+
+bool parse_code(const std::string& text, LoadErrorCode& code) {
+  for (const LoadErrorCode candidate :
+       {LoadErrorCode::kBadMagic, LoadErrorCode::kBadVersion,
+        LoadErrorCode::kChecksum, LoadErrorCode::kTruncated,
+        LoadErrorCode::kBadStructure, LoadErrorCode::kIo,
+        LoadErrorCode::kMmapFailed}) {
+    if (text == load_error_code_name(candidate)) {
+      code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parse "error:<code>[:<count>]" or "delay:<ms>[:<count>]".
+bool parse_action(const std::string& text, Spec& spec) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t colon = text.find(':', begin);
+    parts.push_back(text.substr(
+        begin, colon == std::string::npos ? std::string::npos : colon - begin));
+    if (colon == std::string::npos) break;
+    begin = colon + 1;
+  }
+  if (parts.empty()) return false;
+  if (parts[0] == "error") {
+    spec.action = Spec::Action::kError;
+    if (parts.size() < 2 || !parse_code(parts[1], spec.code)) return false;
+  } else if (parts[0] == "delay") {
+    spec.action = Spec::Action::kDelay;
+    if (parts.size() < 2) return false;
+    spec.delay_ms = std::atoi(parts[1].c_str());
+    if (spec.delay_ms < 0) return false;
+  } else {
+    return false;
+  }
+  spec.count = parts.size() > 2 ? std::atoi(parts[2].c_str()) : 0;
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> n_armed{0};
+
+void point(const char* name, const char* context) {
+  Spec spec;
+  {
+    const std::lock_guard<std::mutex> lock(table_mutex());
+    const auto it = table().find(name);
+    if (it == table().end() || !it->second.armed) return;
+    Site& site = it->second;
+    ++site.hits;
+    spec = site.spec;
+    if (site.spec.count > 0 && site.hits >= site.spec.count) {
+      site.armed = false;  // fired its quota: auto-disarm
+      n_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // Act outside the table lock: a delay must not serialise other sites,
+  // and the throw must not unwind through a held mutex.
+  if (spec.action == Spec::Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+    return;
+  }
+  throw LoadError(spec.code, context == nullptr ? "<failpoint>" : context,
+                  std::string("injected by failpoint '") + name + "'");
+}
+
+}  // namespace detail
+
+void arm(const std::string& name, const Spec& spec) {
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  Site& site = table()[name];
+  if (!site.armed) detail::n_armed.fetch_add(1, std::memory_order_relaxed);
+  site.spec = spec;
+  site.armed = true;
+  site.hits = 0;
+}
+
+void disarm(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  const auto it = table().find(name);
+  if (it == table().end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::n_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  for (auto& [name, site] : table()) {
+    if (site.armed) {
+      site.armed = false;
+      detail::n_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+int hit_count(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  const auto it = table().find(name);
+  return it == table().end() ? 0 : it->second.hits;
+}
+
+std::size_t arm_from_env(const char* env_var) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || value[0] == '\0') return 0;
+  std::size_t armed = 0;
+  const std::string text(value);
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    Spec spec;
+    if (eq == std::string::npos || eq == 0 ||
+        !parse_action(entry.substr(eq + 1), spec)) {
+      std::fprintf(stderr, "failpoint: ignoring malformed entry '%s' in %s\n",
+                   entry.c_str(), env_var);
+      continue;
+    }
+    arm(entry.substr(0, eq), spec);
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace hmd::fail

@@ -10,6 +10,7 @@
 #include <new>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace hmd::io {
 
@@ -26,19 +27,25 @@ void close_quietly(int fd) {
 }  // namespace
 
 MappedFile MappedFile::map(const std::string& path) {
+  // Armed with error:mmap-failed this simulates a filesystem without
+  // mmap support — the seam the stream-fallback paths are tested through.
+  HMD_FAILPOINT("mmap.map", path.c_str());
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    throw IoError("MappedFile: cannot open " + path + ": " +
-                  std::strerror(errno));
+    throw LoadError(LoadErrorCode::kIo, path,
+                    std::string("cannot open for mapping: ") +
+                        std::strerror(errno));
   }
   struct ::stat st = {};
   if (::fstat(fd, &st) != 0) {
     close_quietly(fd);
-    throw IoError("MappedFile: cannot stat " + path);
+    throw LoadError(LoadErrorCode::kIo, path,
+                    std::string("cannot stat: ") + std::strerror(errno));
   }
   if (st.st_size <= 0) {
     close_quietly(fd);
-    throw IoError("MappedFile: empty file " + path);
+    throw LoadError(LoadErrorCode::kTruncated, path,
+                    "empty file (no artifact is 0 bytes)");
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   // MAP_PRIVATE: the serving process never writes through the mapping,
@@ -47,8 +54,8 @@ MappedFile MappedFile::map(const std::string& path) {
   void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   close_quietly(fd);  // the mapping keeps its own reference to the inode
   if (base == MAP_FAILED) {
-    throw IoError("MappedFile: mmap failed for " + path + ": " +
-                  std::strerror(errno));
+    throw LoadError(LoadErrorCode::kMmapFailed, path,
+                    std::string("mmap failed: ") + std::strerror(errno));
   }
   MappedFile mapped;
   mapped.data_ = static_cast<const std::byte*>(base);
@@ -89,13 +96,13 @@ ArtifactBuffer ArtifactBuffer::map_file(const std::string& path) {
 ArtifactBuffer ArtifactBuffer::read_file(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    throw IoError("ArtifactBuffer: cannot open " + path + ": " +
-                  std::strerror(errno));
+    throw LoadError(LoadErrorCode::kIo, path,
+                    std::string("cannot open: ") + std::strerror(errno));
   }
   struct ::stat st = {};
   if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
     close_quietly(fd);
-    throw IoError("ArtifactBuffer: cannot stat " + path);
+    throw LoadError(LoadErrorCode::kIo, path, "cannot stat or empty file");
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   ArtifactBuffer buffer;
@@ -109,7 +116,9 @@ ArtifactBuffer ArtifactBuffer::read_file(const std::string& path) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       close_quietly(fd);
-      throw IoError("ArtifactBuffer: short read of " + path);
+      throw LoadError(LoadErrorCode::kIo, path,
+                      "short read: expected " + std::to_string(size) +
+                          " bytes, got " + std::to_string(done));
     }
     done += static_cast<std::size_t>(n);
   }

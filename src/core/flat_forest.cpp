@@ -103,6 +103,13 @@ void FlatForestEngine::derive_stumps() {
       ++n_stumps_;
       continue;
     }
+    // Bounds guard rather than assumption: under a checksummed load the
+    // deep walk is skipped, and this is the only arena dereference that
+    // happens at load time — keep it in-bounds even for impossible input.
+    if (node.left <= 0 ||
+        node.left >= static_cast<std::int32_t>(nodes_.size()) - 1) {
+      continue;
+    }
     const Node& lo = nodes_[static_cast<std::size_t>(node.left)];
     const Node& hi = nodes_[static_cast<std::size_t>(node.left) + 1];
     if (lo.feature < 0 && hi.feature < 0) {
@@ -155,27 +162,36 @@ constexpr std::uint64_t kMaxFeatures = std::uint64_t{1} << 24;
 
 }  // namespace
 
-void FlatForestEngine::validate_geometry(const std::string& context) const {
+void FlatForestEngine::validate_geometry(const std::string& context,
+                                         bool deep) const {
   if (roots_.empty() || leaf_entropy_.size() != nodes_.size())
-    throw IoError("inconsistent flat-forest geometry in " + context);
+    throw LoadError(LoadErrorCode::kBadStructure, context,
+                    "inconsistent flat-forest geometry");
   const auto n_nodes = static_cast<std::int32_t>(nodes_.size());
-  // Structural validation so a corrupt arena can never be *traversed*
-  // wrong: feature indices stay inside the input row, and child links
-  // point strictly forward (the BFS re-layout guarantees this), which
-  // also guarantees every walk terminates.
-  for (std::int32_t i = 0; i < n_nodes; ++i) {
-    const Node& node = nodes_[static_cast<std::size_t>(i)];
-    if (node.feature < 0) continue;
-    if (static_cast<std::uint64_t>(node.feature) >= n_features_)
-      throw IoError("out-of-range feature index in " + context);
-    // `left >= n_nodes - 1` (not `left + 1 >= n_nodes`): a crafted arena
-    // with left == INT32_MAX must be rejected, not signed-overflow UB.
-    if (node.left <= i || node.left >= n_nodes - 1)
-      throw IoError("out-of-arena child index in " + context);
+  if (deep) {
+    // Structural validation so a corrupt arena can never be *traversed*
+    // wrong: feature indices stay inside the input row, and child links
+    // point strictly forward (the BFS re-layout guarantees this), which
+    // also guarantees every walk terminates. Checksummed loads skip this
+    // O(n_nodes) page walk — bit-level intactness is already proven, and
+    // the writer only ever serialises arenas that pass it.
+    for (std::int32_t i = 0; i < n_nodes; ++i) {
+      const Node& node = nodes_[static_cast<std::size_t>(i)];
+      if (node.feature < 0) continue;
+      if (static_cast<std::uint64_t>(node.feature) >= n_features_)
+        throw LoadError(LoadErrorCode::kBadStructure, context,
+                        "out-of-range feature index");
+      // `left >= n_nodes - 1` (not `left + 1 >= n_nodes`): a crafted arena
+      // with left == INT32_MAX must be rejected, not signed-overflow UB.
+      if (node.left <= i || node.left >= n_nodes - 1)
+        throw LoadError(LoadErrorCode::kBadStructure, context,
+                        "out-of-arena child index");
+    }
   }
   for (const std::int32_t root : roots_) {
     if (root < 0 || root >= n_nodes)
-      throw IoError("out-of-arena root index in " + context);
+      throw LoadError(LoadErrorCode::kBadStructure, context,
+                      "out-of-arena root index");
   }
 }
 
@@ -185,7 +201,9 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::load_blob(
   std::uint64_t n_features = 0;
   io::read_pod(in, n_features, context);
   if (n_features == 0 || n_features > kMaxFeatures)
-    throw IoError("implausible flat-forest feature width in " + context);
+    throw LoadError(LoadErrorCode::kBadStructure, context,
+                    "implausible flat-forest feature width " +
+                        std::to_string(n_features));
   flat->n_features_ = static_cast<std::size_t>(n_features);
   io::read_vec(in, flat->nodes_storage_, context, kMaxNodes);
   io::read_vec(in, flat->leaf_entropy_storage_, context,
@@ -193,21 +211,25 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::load_blob(
   io::read_vec(in, flat->roots_storage_, context,
                flat->nodes_storage_.size());
   flat->adopt_storage();
-  flat->validate_geometry(context);
+  flat->validate_geometry(context, /*deep=*/true);
   flat->derive_stumps();
   return flat;
 }
 
 std::unique_ptr<FlatForestEngine> FlatForestEngine::from_buffer(
-    io::ByteReader& in, std::shared_ptr<const io::ArtifactBuffer> keepalive) {
+    io::ByteReader& in, std::shared_ptr<const io::ArtifactBuffer> keepalive,
+    bool deep_validate) {
   auto flat = std::make_unique<FlatForestEngine>();
   const auto n_features = in.read_pod<std::uint64_t>();
   const auto n_nodes = in.read_pod<std::uint64_t>();
   const auto n_roots = in.read_pod<std::uint64_t>();
   if (n_features == 0 || n_features > kMaxFeatures)
-    throw IoError("implausible flat-forest feature width in " + in.context());
+    throw LoadError(LoadErrorCode::kBadStructure, in.context(),
+                    "implausible flat-forest feature width " +
+                        std::to_string(n_features));
   if (n_nodes == 0 || n_nodes > kMaxNodes || n_roots > n_nodes)
-    throw IoError("implausible flat-forest geometry in " + in.context());
+    throw LoadError(LoadErrorCode::kBadStructure, in.context(),
+                    "implausible flat-forest geometry");
   flat->n_features_ = static_cast<std::size_t>(n_features);
   // Views straight into the artifact bytes — the zero-copy path. The
   // buffer keepalive pins the mapping for the engine's lifetime.
@@ -221,7 +243,7 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::from_buffer(
   flat->roots_ = {in.view_span<std::int32_t>(n_roots),
                   static_cast<std::size_t>(n_roots)};
   flat->buffer_ = std::move(keepalive);
-  flat->validate_geometry(in.context());
+  flat->validate_geometry(in.context(), deep_validate);
   flat->derive_stumps();
   return flat;
 }

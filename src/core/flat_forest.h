@@ -79,11 +79,16 @@ class FlatForestEngine final : public InferenceEngine {
 
   /// Reconstruct an engine from a `.hmdf` v2 save_blob_v2() payload,
   /// viewing the arena / entropies / roots *in place* inside `keepalive`'s
-  /// buffer (no copies; the engine pins the buffer). Same validation and
-  /// bit-identical outputs as the stream path.
+  /// buffer (no copies; the engine pins the buffer). Bit-identical outputs
+  /// to the stream path. `deep_validate=false` skips the O(n_nodes)
+  /// structural walk of the arena (keeping the O(n_trees) root checks) —
+  /// only valid when the caller has already proven the bytes intact, i.e.
+  /// the artifact's section checksums verified (model_artifact.h's
+  /// verify-once-then-trust contract).
   static std::unique_ptr<FlatForestEngine> from_buffer(
       io::ByteReader& in,
-      std::shared_ptr<const io::ArtifactBuffer> keepalive);
+      std::shared_ptr<const io::ArtifactBuffer> keepalive,
+      bool deep_validate = true);
 
   std::string name() const override { return "flat_forest"; }
   EngineId engine_id() const override { return EngineId::kFlatForest; }
@@ -147,8 +152,10 @@ class FlatForestEngine final : public InferenceEngine {
   /// Structural validation shared by both load paths: feature indices
   /// stay inside the input row and child links point strictly forward, so
   /// a corrupt arena can never be *traversed* wrong (and every walk
-  /// terminates). Throws IoError naming `context`.
-  void validate_geometry(const std::string& context) const;
+  /// terminates). `deep=false` keeps only the O(1) consistency and
+  /// O(n_trees) root checks (the checksummed-load mode, where intactness
+  /// is already proven). Throws LoadError{kBadStructure} naming `context`.
+  void validate_geometry(const std::string& context, bool deep) const;
 
   template <bool kNeedPosterior, bool kNeedEntropy>
   void tile_kernel(const Matrix& x, std::size_t row_begin,

@@ -157,9 +157,11 @@ std::unique_ptr<FlatLinearEngine> FlatLinearEngine::load_blob(
   io::read_pod(in, n_members, context);
   io::read_pod(in, d, context);
   if (kind > static_cast<std::uint8_t>(MemberKind::kSvm))
-    throw IoError("unknown linear member kind in " + context);
+    throw LoadError(LoadErrorCode::kBadStructure, context,
+                    "unknown linear member kind");
   if (n_members == 0 || d == 0 || n_members > (1u << 24) || d > (1u << 24))
-    throw IoError("implausible linear-engine geometry in " + context);
+    throw LoadError(LoadErrorCode::kBadStructure, context,
+                    "implausible linear-engine geometry");
   engine->kind_ = static_cast<MemberKind>(kind);
   engine->n_members_ = static_cast<std::size_t>(n_members);
   engine->n_features_ = static_cast<std::size_t>(d);
@@ -187,9 +189,11 @@ std::unique_ptr<FlatLinearEngine> FlatLinearEngine::from_buffer(
   const auto n_members = in.read_pod<std::uint64_t>();
   const auto d = in.read_pod<std::uint64_t>();
   if (kind > static_cast<std::uint8_t>(MemberKind::kSvm))
-    throw IoError("unknown linear member kind in " + in.context());
+    throw LoadError(LoadErrorCode::kBadStructure, in.context(),
+                    "unknown linear member kind");
   if (n_members == 0 || d == 0 || n_members > (1u << 24) || d > (1u << 24))
-    throw IoError("implausible linear-engine geometry in " + in.context());
+    throw LoadError(LoadErrorCode::kBadStructure, in.context(),
+                    "implausible linear-engine geometry");
   engine->kind_ = static_cast<MemberKind>(kind);
   engine->n_members_ = static_cast<std::size_t>(n_members);
   engine->n_features_ = static_cast<std::size_t>(d);

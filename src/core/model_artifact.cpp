@@ -4,13 +4,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 
 #include "common/binary_io.h"
+#include "common/checksum.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/mapped_file.h"
 #include "core/flat_forest.h"
 #include "core/flat_linear.h"
@@ -23,11 +26,62 @@ constexpr char kMagic[4] = {'H', 'M', 'D', 'F'};
 constexpr std::uint32_t kSectionCount = 3;  // config | scaler | engine
 constexpr std::uint64_t kSectionTableOffset = 16;
 constexpr std::size_t kSectionAlignment = 64;
+const char* const kSectionNames[kSectionCount] = {"config", "scaler",
+                                                 "engine"};
 
+/// Pre-checksum v2 table entry (flags bit 0 clear): 16 bytes.
 struct SectionEntry {
   std::uint64_t offset = 0;
   std::uint64_t size = 0;
 };
+
+/// Checksummed v2 table entry (flags bit 0 set): 24 bytes.
+struct ChecksumSectionEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(ChecksumSectionEntry) == 24,
+              "table entries are streamed raw");
+
+/// Byte offset of the header hash in a checksummed artifact: right after
+/// the 24-byte-entry table. The hash covers bytes [0, kHeaderHashOffset).
+constexpr std::uint64_t kHeaderHashOffset =
+    kSectionTableOffset + kSectionCount * sizeof(ChecksumSectionEntry);
+/// Total header region of a checksummed artifact (hash included).
+constexpr std::uint64_t kChecksumHeaderBytes = kHeaderHashOffset + 8;
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+/// Read and validate the 8-byte magic+version prefix, throwing the typed
+/// error that names what is actually wrong (not-an-artifact vs
+/// future-version vs too-short-to-tell).
+std::uint32_t read_header_version(std::istream& in, const std::string& path) {
+  char magic[4] = {};
+  std::uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) {
+    throw LoadError(LoadErrorCode::kTruncated, path,
+                    "file shorter than the 8-byte artifact header");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw LoadError(LoadErrorCode::kBadMagic, path,
+                    "bad magic (not a .hmdf artifact)");
+  }
+  if (version != kModelFormatV1 && version != kModelFormatVersion) {
+    throw LoadError(LoadErrorCode::kBadVersion, path,
+                    "unsupported format version " + std::to_string(version) +
+                        " (expected " + std::to_string(kModelFormatV1) +
+                        " or " + std::to_string(kModelFormatVersion) + ")");
+  }
+  return version;
+}
 
 bool header_matches(std::istream& in, std::uint32_t& version) {
   char magic[4] = {};
@@ -84,11 +138,14 @@ HmdConfig read_config(Source& in, const std::string& path, int n_threads,
   const auto max_depth = in.template read_pod<std::int32_t>();
   converged_fraction = in.template read_pod<double>();
   if (model_kind > static_cast<std::uint32_t>(ModelKind::kBaggedSvm))
-    throw IoError("load_model: unknown model kind in " + path);
+    throw LoadError(LoadErrorCode::kBadStructure, path,
+                    "unknown model kind " + std::to_string(model_kind));
   if (mode > static_cast<std::uint32_t>(UncertaintyMode::kMaxProbability))
-    throw IoError("load_model: unknown uncertainty mode in " + path);
+    throw LoadError(LoadErrorCode::kBadStructure, path,
+                    "unknown uncertainty mode " + std::to_string(mode));
   if (n_members < 1)
-    throw IoError("load_model: implausible member count in " + path);
+    throw LoadError(LoadErrorCode::kBadStructure, path,
+                    "implausible member count " + std::to_string(n_members));
   config.model = static_cast<ModelKind>(model_kind);
   config.n_members = n_members;
   config.mode = static_cast<UncertaintyMode>(mode);
@@ -133,25 +190,38 @@ void save_model_v1(std::ostream& out, const UntrustedHmd& hmd) {
   engine.save_blob(out);
 }
 
-/// The v2 zero-copy layout (contract in model_artifact.h): a 64-byte
-/// header + section table, then 64-byte-aligned config / scaler / engine
-/// sections. The table is patched in after the sections are written.
-void save_model_v2(std::ostream& out, const UntrustedHmd& hmd) {
+/// The v2 zero-copy layout (contract in model_artifact.h): header +
+/// section table, then 64-byte-aligned config / scaler / engine sections.
+/// Offsets and sizes are patched in once known; section *checksums* are
+/// left zero here and filled in by finalize_checksums() after the stream
+/// is closed (hashing wants the finished bytes, read back in one sweep).
+void save_model_v2(std::ostream& out, const UntrustedHmd& hmd,
+                   bool section_checksums) {
   const InferenceEngine& engine = hmd.engine();
   io::AlignedWriter writer(out);
   writer.write_span(kMagic, sizeof(kMagic));
   writer.write_pod(kModelFormatVersion);
   writer.write_pod(kSectionCount);
-  writer.write_pod(std::uint32_t{0});  // reserved
-  // Placeholder section table, patched below once offsets are known.
-  SectionEntry sections[kSectionCount] = {};
-  writer.write_span(sections, kSectionCount);
+  writer.write_pod(section_checksums ? kArtifactFlagSectionChecksums
+                                     : std::uint32_t{0});
+  // Placeholder section table (and, when checksummed, header hash),
+  // patched below once offsets are known.
+  ChecksumSectionEntry sections[kSectionCount] = {};
+  if (section_checksums) {
+    writer.write_span(sections, kSectionCount);
+    writer.write_pod(std::uint64_t{0});  // header hash placeholder
+  } else {
+    for (const ChecksumSectionEntry& entry : sections) {
+      writer.write_pod(entry.offset);
+      writer.write_pod(entry.size);
+    }
+  }
 
-  const auto begin_section = [&](SectionEntry& entry) {
+  const auto begin_section = [&](ChecksumSectionEntry& entry) {
     writer.pad_to(kSectionAlignment);
     entry.offset = writer.offset();
   };
-  const auto end_section = [&](SectionEntry& entry) {
+  const auto end_section = [&](ChecksumSectionEntry& entry) {
     entry.size = writer.offset() - entry.offset;
   };
 
@@ -178,11 +248,63 @@ void save_model_v2(std::ostream& out, const UntrustedHmd& hmd) {
   end_section(sections[2]);
 
   out.seekp(static_cast<std::streamoff>(kSectionTableOffset));
-  out.write(reinterpret_cast<const char*>(sections), sizeof(sections));
+  if (section_checksums) {
+    out.write(reinterpret_cast<const char*>(sections), sizeof(sections));
+  } else {
+    for (const ChecksumSectionEntry& entry : sections) {
+      out.write(reinterpret_cast<const char*>(&entry.offset), 8);
+      out.write(reinterpret_cast<const char*>(&entry.size), 8);
+    }
+  }
+}
+
+/// Second save pass: read the finished temp file back (one sequential
+/// sweep, straight out of the page cache), compute each section's XXH64
+/// and then the header hash *over the patched table*, and write the
+/// [kSectionTableOffset, kChecksumHeaderBytes) region in place. Runs
+/// before fsync/rename, so a published artifact always carries hashes
+/// consistent with its bytes.
+void finalize_checksums(const std::string& tmp_path) {
+  const io::ArtifactBuffer buffer = io::ArtifactBuffer::read_file(tmp_path);
+  if (buffer.size() < kChecksumHeaderBytes) {
+    throw IoError("save_model: temp artifact " + tmp_path +
+                  " shorter than its own header");
+  }
+  unsigned char header[kChecksumHeaderBytes];
+  std::memcpy(header, buffer.data(), kChecksumHeaderBytes);
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const std::size_t entry_at =
+        kSectionTableOffset + i * sizeof(ChecksumSectionEntry);
+    ChecksumSectionEntry entry;
+    std::memcpy(&entry, header + entry_at, sizeof(entry));
+    entry.checksum = io::xxhash64(buffer.data() + entry.offset,
+                                  static_cast<std::size_t>(entry.size));
+    std::memcpy(header + entry_at, &entry, sizeof(entry));
+  }
+  const std::uint64_t header_hash = io::xxhash64(header, kHeaderHashOffset);
+  std::memcpy(header + kHeaderHashOffset, &header_hash, sizeof(header_hash));
+
+  std::fstream out(tmp_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) {
+    throw IoError("save_model: cannot reopen " + tmp_path +
+                  " to patch checksums");
+  }
+  out.seekp(static_cast<std::streamoff>(kSectionTableOffset));
+  out.write(reinterpret_cast<const char*>(header + kSectionTableOffset),
+            static_cast<std::streamsize>(kChecksumHeaderBytes -
+                                         kSectionTableOffset));
+  out.flush();
+  if (!out) {
+    throw IoError("save_model: checksum patch failed for " + tmp_path);
+  }
 }
 
 /// Parse a v2 artifact in place over `buffer` (mapped or heap-read; the
-/// engines keep views into it either way).
+/// engines keep views into it either way). Checksummed artifacts are
+/// verified here — header hash, then every section hash — *before* any
+/// payload parsing, and then parsed with the deep structural walk
+/// skipped (the verify-once-then-trust contract in model_artifact.h).
 TrustedHmd load_model_v2(std::shared_ptr<const io::ArtifactBuffer> buffer,
                          const std::string& path, int n_threads) {
   io::ByteReader in(buffer->data(), buffer->size(), path);
@@ -191,21 +313,71 @@ TrustedHmd load_model_v2(std::shared_ptr<const io::ArtifactBuffer> buffer,
   // between must be rejected, not misparsed.
   char magic[4];
   std::memcpy(magic, in.view_span<char>(4), 4);
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
-      in.read_pod<std::uint32_t>() != kModelFormatVersion) {
-    throw IoError("load_model: bad magic or version mismatch in " + path);
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw LoadError(LoadErrorCode::kBadMagic, path,
+                    "bad magic (file replaced mid-load?)");
+  }
+  if (in.read_pod<std::uint32_t>() != kModelFormatVersion) {
+    throw LoadError(LoadErrorCode::kBadVersion, path,
+                    "version mismatch (file replaced mid-load?)");
   }
   const auto section_count = in.read_pod<std::uint32_t>();
-  in.read_pod<std::uint32_t>();  // reserved
-  if (section_count != kSectionCount)
-    throw IoError("load_model: bad section count in " + path);
-  SectionEntry sections[kSectionCount];
-  for (SectionEntry& entry : sections) {
+  const auto flags = in.read_pod<std::uint32_t>();
+  if (section_count != kSectionCount) {
+    throw LoadError(LoadErrorCode::kBadStructure, path,
+                    "bad section count " + std::to_string(section_count));
+  }
+  if ((flags & ~kArtifactFlagSectionChecksums) != 0) {
+    throw LoadError(LoadErrorCode::kBadVersion, path,
+                    "unknown header flags " + hex_u64(flags) +
+                        " (written by a newer version?)");
+  }
+  const bool checksummed = (flags & kArtifactFlagSectionChecksums) != 0;
+
+  ChecksumSectionEntry sections[kSectionCount];
+  for (ChecksumSectionEntry& entry : sections) {
     entry.offset = in.read_pod<std::uint64_t>();
     entry.size = in.read_pod<std::uint64_t>();
+    entry.checksum = checksummed ? in.read_pod<std::uint64_t>() : 0;
+  }
+  if (checksummed) {
+    // Header hash first: it vouches for the table the section hashes are
+    // about to be read through, so a flipped bit in a stored offset/size/
+    // checksum is caught here rather than surfacing as a bounds error.
+    const auto stored = in.read_pod<std::uint64_t>();
+    const std::uint64_t actual =
+        io::xxhash64(buffer->data(), kHeaderHashOffset);
+    if (actual != stored) {
+      throw LoadError(LoadErrorCode::kChecksum, path,
+                      "header checksum mismatch (expected " +
+                          hex_u64(stored) + ", got " + hex_u64(actual) + ")");
+    }
+  }
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const ChecksumSectionEntry& entry = sections[i];
     if (entry.offset + entry.size < entry.offset ||  // u64 overflow
         entry.offset + entry.size > buffer->size()) {
-      throw IoError("load_model: section past end of " + path);
+      throw LoadError(LoadErrorCode::kTruncated, path,
+                      "section '" + std::string(kSectionNames[i]) +
+                          "' ends at byte " +
+                          std::to_string(entry.offset + entry.size) +
+                          ", past end of file (" +
+                          std::to_string(buffer->size()) + " bytes)");
+    }
+  }
+  if (checksummed) {
+    for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+      const ChecksumSectionEntry& entry = sections[i];
+      const std::uint64_t actual =
+          io::xxhash64(buffer->data() + entry.offset,
+                       static_cast<std::size_t>(entry.size));
+      if (actual != entry.checksum) {
+        throw LoadError(LoadErrorCode::kChecksum, path,
+                        "section '" + std::string(kSectionNames[i]) +
+                            "' checksum mismatch (expected " +
+                            hex_u64(entry.checksum) + ", got " +
+                            hex_u64(actual) + ")");
+      }
     }
   }
 
@@ -218,7 +390,8 @@ TrustedHmd load_model_v2(std::shared_ptr<const io::ArtifactBuffer> buffer,
   if (in.read_pod<std::uint8_t>() != 0) {
     const auto d = in.read_pod<std::uint64_t>();
     if (d == 0 || d > (1u << 24))
-      throw IoError("load_model: implausible scaler width in " + path);
+      throw LoadError(LoadErrorCode::kBadStructure, path,
+                      "implausible scaler width " + std::to_string(d));
     // The scaler moments are tiny (d doubles each); they are copied out
     // of the buffer rather than viewed, because StandardScaler owns its
     // vectors and the engines carry their own moments anyway.
@@ -236,14 +409,15 @@ TrustedHmd load_model_v2(std::shared_ptr<const io::ArtifactBuffer> buffer,
   std::unique_ptr<InferenceEngine> engine;
   switch (static_cast<EngineId>(engine_id)) {
     case EngineId::kFlatForest:
-      engine = FlatForestEngine::from_buffer(in, buffer);
+      engine = FlatForestEngine::from_buffer(in, buffer,
+                                             /*deep_validate=*/!checksummed);
       break;
     case EngineId::kFlatLinear:
       engine = FlatLinearEngine::from_buffer(in, buffer);
       break;
     default:
-      throw IoError("load_model: unknown engine id " +
-                    std::to_string(engine_id) + " in " + path);
+      throw LoadError(LoadErrorCode::kBadStructure, path,
+                      "unknown engine id " + std::to_string(engine_id));
   }
 
   return TrustedHmd(std::move(config), std::move(engine), std::move(scaler),
@@ -263,7 +437,8 @@ TrustedHmd load_model_v1(std::istream& in, const std::string& path,
     std::uint64_t d = 0;
     io::read_pod(in, d, path);
     if (d == 0 || d > (1u << 24))
-      throw IoError("load_model: implausible scaler width in " + path);
+      throw LoadError(LoadErrorCode::kBadStructure, path,
+                      "implausible scaler width " + std::to_string(d));
     std::vector<double> means(d), scales(d);
     io::read_span(in, means.data(), means.size(), path);
     io::read_span(in, scales.data(), scales.size(), path);
@@ -282,8 +457,8 @@ TrustedHmd load_model_v1(std::istream& in, const std::string& path,
       engine = FlatLinearEngine::load_blob(in, path);
       break;
     default:
-      throw IoError("load_model: unknown engine id " +
-                    std::to_string(engine_id) + " in " + path);
+      throw LoadError(LoadErrorCode::kBadStructure, path,
+                      "unknown engine id " + std::to_string(engine_id));
   }
 
   return TrustedHmd(std::move(config), std::move(engine), std::move(scaler),
@@ -302,7 +477,7 @@ bool model_exists(const std::string& path) {
 }
 
 void save_model(const UntrustedHmd& hmd, const std::string& path,
-                std::uint32_t format_version) {
+                std::uint32_t format_version, bool section_checksums) {
   HMD_REQUIRE(hmd.uses_flat_engine(),
               "save_model: detector has no compiled engine");
   HMD_REQUIRE(format_version == kModelFormatV1 ||
@@ -324,13 +499,16 @@ void save_model(const UntrustedHmd& hmd, const std::string& path,
     if (format_version == kModelFormatV1) {
       save_model_v1(out, hmd);
     } else {
-      save_model_v2(out, hmd);
+      save_model_v2(out, hmd, section_checksums);
     }
     // Flush explicitly before the stream check: the destructor's implicit
     // flush swallows errors, and a short tail lost to ENOSPC here would
     // otherwise be fsynced and renamed over the good artifact below.
     out.flush();
     if (!out) throw IoError("save_model: write failed for " + tmp_path);
+  }
+  if (format_version == kModelFormatVersion && section_checksums) {
+    finalize_checksums(tmp_path);
   }
   // Durability before visibility: flush the temp file's bytes to stable
   // storage *before* the rename publishes them, then flush the directory
@@ -344,15 +522,18 @@ void save_model(const UntrustedHmd& hmd, const std::string& path,
 }
 
 TrustedHmd load_model(const std::string& path, int n_threads, LoadMode mode) {
+  // Armed with error:io (etc.) this simulates the whole artifact tier
+  // failing — the seam the registry's retry/quarantine tests drive.
+  HMD_FAILPOINT("artifact.load", path.c_str());
   std::uint32_t version = 0;
   {
     std::ifstream in(path, std::ios::binary);
-    if (!in) throw IoError("load_model: missing artifact " + path);
-    if (!header_matches(in, version)) {
-      throw IoError("load_model: bad magic or version mismatch in " + path +
-                    " (expected v" + std::to_string(kModelFormatV1) + " or v" +
-                    std::to_string(kModelFormatVersion) + ")");
+    if (!in) {
+      throw LoadError(LoadErrorCode::kIo, path,
+                      std::string("cannot open artifact: ") +
+                          std::strerror(errno));
     }
+    version = read_header_version(in, path);
     if (version == kModelFormatV1) {
       // v1 predates the aligned layout: always the stream copy path.
       return load_model_v1(in, path, n_threads);
@@ -370,6 +551,52 @@ TrustedHmd load_model(const std::string& path, int n_threads, LoadMode mode) {
     return io::ArtifactBuffer::map_or_read(path);
   }());
   return load_model_v2(std::move(buffer), path, n_threads);
+}
+
+ArtifactInfo inspect_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw LoadError(LoadErrorCode::kIo, path,
+                    std::string("cannot open artifact: ") +
+                        std::strerror(errno));
+  }
+  ArtifactInfo info;
+  info.file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  info.version = read_header_version(in, path);
+  if (info.version == kModelFormatV1) return info;  // v1 has no table
+
+  std::uint32_t section_count = 0;
+  std::uint32_t flags = 0;
+  io::read_pod(in, section_count, path);
+  io::read_pod(in, flags, path);
+  if (section_count != kSectionCount) {
+    throw LoadError(LoadErrorCode::kBadStructure, path,
+                    "bad section count " + std::to_string(section_count));
+  }
+  if ((flags & ~kArtifactFlagSectionChecksums) != 0) {
+    throw LoadError(LoadErrorCode::kBadVersion, path,
+                    "unknown header flags " + hex_u64(flags) +
+                        " (written by a newer version?)");
+  }
+  info.section_checksums = (flags & kArtifactFlagSectionChecksums) != 0;
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    ArtifactSectionInfo section;
+    section.name = kSectionNames[i];
+    io::read_pod(in, section.offset, path);
+    io::read_pod(in, section.size, path);
+    if (info.section_checksums) io::read_pod(in, section.checksum, path);
+    if (section.offset + section.size < section.offset ||
+        section.offset + section.size > info.file_bytes) {
+      throw LoadError(LoadErrorCode::kTruncated, path,
+                      "section '" + section.name + "' ends at byte " +
+                          std::to_string(section.offset + section.size) +
+                          ", past end of file (" +
+                          std::to_string(info.file_bytes) + " bytes)");
+    }
+    info.sections.push_back(section);
+  }
+  return info;
 }
 
 }  // namespace hmd::core

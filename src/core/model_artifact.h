@@ -16,11 +16,26 @@
 //   [ 0.. 4)  magic "HMDF"
 //   [ 4.. 8)  u32 version = 2
 //   [ 8..12)  u32 section_count = 3
-//   [12..16)  u32 reserved = 0
+//   [12..16)  u32 flags (bit 0 = kArtifactFlagSectionChecksums)
+//   then the section table, whose entry layout depends on bit 0:
+//
+//   flags bit 0 SET (the default since the fault-tolerance PR):
+//   [16..88)  section table: section_count × { u64 offset, u64 size,
+//             u64 xxh64 } — the checksum is XXH64 (common/checksum.h,
+//             seed 0) over the section's exact [offset, offset+size)
+//             bytes, internal alignment padding included.
+//   [88..96)  u64 header_xxh64: XXH64 over bytes [0, 88) — magic,
+//             version, counts, flags, and the whole table — so a bit
+//             flip in a stored offset/size/checksum is itself caught.
+//
+//   flags bit 0 CLEAR (pre-checksum v2 files, still loadable and still
+//   writable via save_model's section_checksums=false for migration and
+//   benchmarking):
 //   [16..64)  section table: section_count × { u64 offset, u64 size }
-//             sections in order: config, scaler, engine. Offsets are
-//             64-byte aligned and in-bounds; sizes are exact payload
-//             bytes (loaders reject misaligned or out-of-range entries).
+//
+//   Sections in order: config, scaler, engine. Offsets are 64-byte
+//   aligned and in-bounds; sizes are exact payload bytes (loaders reject
+//   misaligned or out-of-range entries).
 //
 //   config section:
 //     u32 model_kind | i32 n_members | u32 uncertainty_mode
@@ -44,16 +59,31 @@
 //                    | align64 | f64 platt_b[M] | align64 | f64 means[d]
 //                    | align64 | f64 scales[d]
 //
-// A v2 load parses the file through an ArtifactBuffer (mmap by default,
-// full buffer read as fallback / on request) and the engines hold
-// non-owning views into it; the stump table is re-derived at load.
+// ## Integrity and trust (the verify-once-then-trust contract)
+//
+// A checksummed v2 load verifies the header hash, then every section's
+// hash, *before* parsing — one sequential, prefetcher-friendly sweep of
+// the bytes — and then trusts the content: the O(n_nodes) structural
+// validation walk of the forest arena is skipped (only the O(M) root
+// checks remain), so any single bit flip anywhere in any section —
+// including flips the old walk could never see, like a weight double or
+// a leaf probability — is rejected with LoadError{kChecksum}, and cold
+// start stops paying a pointer-chasing walk over every node page.
+// Checksum-less v2 files keep the full structural walk.
+//
+// Threat model: the checksum is an *integrity* check (bit rot, torn or
+// interrupted writes, flaky storage), not an *authenticity* check — a
+// writer who controls the file can recompute XXH64, exactly as they
+// could simply write a well-formed artifact with hostile weights. Only
+// load artifacts from writers you already trust to choose your model.
 //
 // ## Format v1 (still loadable, writable on request): the stream layout
 //
 //   magic "HMDF" | u32 version=1 | config (as above, packed) |
 //   u8 has_scaler [u64 d | means | scales] | u32 engine_id | engine blob
 //
-// v1 files always load through the std::istream copy path.
+// v1 files always load through the std::istream copy path; they predate
+// checksums and keep the full structural validation.
 //
 // save_model() writes atomically and durably: temp file + fsync(file) +
 // rename + fsync(directory), so a crash mid-field-update can never leave
@@ -64,12 +94,15 @@
 // (Overwriting a served artifact *in place* is a contract violation: a
 // process still mapping the old bytes would see torn data or SIGBUS.)
 //
-// Loaders throw IoError on missing files, bad magic, unsupported
-// versions, unknown engine tags, truncation, or misaligned/out-of-range
-// v2 section offsets.
+// Loaders throw a typed LoadError (common/error.h) naming the failure
+// class: kIo (missing/unreadable file), kBadMagic, kBadVersion,
+// kChecksum, kTruncated, kBadStructure (misaligned / out-of-range /
+// implausible geometry), kMmapFailed (LoadMode::kMmap only — kAuto falls
+// back to the stream read itself).
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/hmd.h"
 
@@ -80,13 +113,16 @@ namespace hmd::core {
 inline constexpr std::uint32_t kModelFormatVersion = 2;
 inline constexpr std::uint32_t kModelFormatV1 = 1;
 
+/// Header flags word (bytes [12..16) of a v2 artifact).
+inline constexpr std::uint32_t kArtifactFlagSectionChecksums = 1u;
+
 /// How load_model materialises the artifact bytes.
 enum class LoadMode {
   /// v2: mmap, falling back to a full buffer read if mapping fails.
   /// v1: stream read. The serving default.
   kAuto,
-  /// v2: mmap or throw IoError. v1: stream read (v1 predates the
-  /// zero-copy layout; there is nothing to map in place).
+  /// v2: mmap or throw LoadError{kMmapFailed}. v1: stream read (v1
+  /// predates the zero-copy layout; there is nothing to map in place).
   kMmap,
   /// Never map: v2 parses from a full heap read, v1 streams. The
   /// full-copy baseline the bench compares against.
@@ -104,9 +140,13 @@ bool model_exists(const std::string& path);
 /// Persist a fitted detector (config + scaler + compiled engine) to
 /// `path`. The detector must be using a flat engine. `format_version`
 /// selects the on-disk layout (v2 by default; v1 kept for migration
-/// tests and old readers). Writes are atomic and durable (see header).
+/// tests and old readers); `section_checksums` selects the checksummed
+/// v2 table (ignored for v1; false reproduces the pre-checksum v2 layout
+/// for migration tests and the checksum-vs-walk bench). Writes are
+/// atomic and durable (see header).
 void save_model(const UntrustedHmd& hmd, const std::string& path,
-                std::uint32_t format_version = kModelFormatVersion);
+                std::uint32_t format_version = kModelFormatVersion,
+                bool section_checksums = true);
 
 /// Reconstruct a serving-only detector from an artifact. `n_threads`
 /// sizes the serving thread pool (<= 0 = all cores) — it intentionally
@@ -115,5 +155,33 @@ void save_model(const UntrustedHmd& hmd, const std::string& path,
 /// materialised (see LoadMode); every mode yields bit-identical outputs.
 TrustedHmd load_model(const std::string& path, int n_threads = 0,
                       LoadMode mode = LoadMode::kAuto);
+
+/// Header-level description of an artifact on disk, read without parsing
+/// (or validating) any section payload. The introspection surface behind
+/// tools/hmd_faultgen and the per-section corruption tests: sections are
+/// reported in table order (config, scaler, engine) with their exact
+/// byte ranges, so a test or corruption tool can target "one byte of the
+/// engine section" without hard-coding layout offsets. Empty for v1
+/// (which has no section table). `checksum` is meaningful only when
+/// `section_checksums` is true.
+struct ArtifactSectionInfo {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct ArtifactInfo {
+  std::uint32_t version = 0;
+  bool section_checksums = false;
+  std::uint64_t file_bytes = 0;
+  std::vector<ArtifactSectionInfo> sections;
+};
+
+/// Read an artifact's header + section table. Throws LoadError on a
+/// missing file, bad magic, unsupported version, or a v2 table that is
+/// truncated/out-of-range — but does NOT verify section checksums or
+/// parse payloads (that is load_model's job).
+ArtifactInfo inspect_model(const std::string& path);
 
 }  // namespace hmd::core

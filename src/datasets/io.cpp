@@ -104,16 +104,37 @@ void save_bundle(const DatasetBundle& bundle, const std::string& stem) {
 DatasetBundle load_bundle(const std::string& name, const std::string& stem) {
   const std::string path = bundle_path(stem);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("load_bundle: missing cache " + path);
-  if (!header_matches(in)) {
-    throw IoError("load_bundle: bad magic or version mismatch in " + path +
-                  " (expected v" + std::to_string(kBundleFormatVersion) +
-                  ")");
+  if (!in) throw LoadError(LoadErrorCode::kIo, path, "missing cache");
+  // Typed header rejection: a non-bundle file, a future bundle version,
+  // and a header-length truncation are three different operator actions
+  // (wrong path / upgrade mismatch / torn write), so they get three
+  // different codes — mirroring the .hmdf loader's taxonomy.
+  {
+    char magic[4] = {};
+    std::uint32_t version = 0;
+    in.read(magic, sizeof(magic));
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!in) {
+      throw LoadError(LoadErrorCode::kTruncated, path,
+                      "file shorter than the 8-byte bundle header");
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw LoadError(LoadErrorCode::kBadMagic, path,
+                      "bad magic (not a .hmdb bundle)");
+    }
+    if (version != kBundleFormatVersion) {
+      throw LoadError(LoadErrorCode::kBadVersion, path,
+                      "unsupported bundle version " + std::to_string(version) +
+                          " (expected " +
+                          std::to_string(kBundleFormatVersion) + ")");
+    }
   }
   std::uint32_t n_splits = 0;
   io::read_pod(in, n_splits, "cache " + path);
   if (n_splits != 3) {
-    throw IoError("load_bundle: unexpected split count in " + path);
+    throw LoadError(LoadErrorCode::kBadStructure, path,
+                    "unexpected split count " + std::to_string(n_splits) +
+                        " (expected 3)");
   }
   DatasetBundle bundle;
   bundle.name = name;

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Chaos drill: hmd_serve must serve bit-identical traffic through a swap
+# storm of corrupt publishes.
+#
+#   1. Train two model families into a registry directory and record a
+#      baseline run's per-model traffic lines.
+#   2. Run the same serve again (paced with --sleep-ms so the storm has
+#      wall time to land in) while a storm publishes damaged variants of
+#      one artifact over its real name via hmd_faultgen: checksum-breaking
+#      bit flips, torn half-files, truncated tails — each a fresh inode,
+#      exactly like a real bad publish.
+#   3. The server must exit 0, its traffic lines must be byte-identical
+#      to the baseline (every rejected replacement kept the last-good
+#      snapshot serving), and the health log must record the degradation.
+#
+# usage: chaos_serve.sh <hmd_train> <hmd_serve> <hmd_faultgen>
+set -euo pipefail
+
+train_bin=$1
+serve_bin=$2
+faultgen_bin=$3
+
+workdir=$(mktemp -d chaos_serve.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+models="$workdir/models"
+mkdir -p "$models"
+
+common=(--dataset=dvfs --scale=0.1 --threads=1)
+
+"$train_bin" "${common[@]}" --model=rf --members=5 \
+    --out="$models/dvfs_RF_M5.hmdf"
+"$train_bin" "${common[@]}" --model=lr --members=5 \
+    --out="$models/dvfs_LR_M5.hmdf"
+
+target="$models/dvfs_RF_M5.hmdf"
+cp "$target" "$workdir/good.hmdf"
+
+serve_args=(--models="$models" "${common[@]}" --batches=60 --refresh-every=1)
+
+# Baseline: what the traffic counters look like with nobody interfering.
+baseline=$("$serve_bin" "${serve_args[@]}")
+baseline_traffic=$(grep '^traffic' <<<"$baseline")
+[ -n "$baseline_traffic" ] || {
+  echo "FAIL: baseline produced no traffic lines" >&2; exit 1; }
+
+# Chaos run, paced and line-buffered so the storm can synchronise on the
+# "serving" line (startup loads must complete clean — the drill is about
+# *replacement* failures, which is why the storm waits).
+log="$workdir/chaos.log"
+runner=("$serve_bin")
+if command -v stdbuf >/dev/null 2>&1; then
+  runner=(stdbuf -oL "$serve_bin")
+fi
+"${runner[@]}" "${serve_args[@]}" --sleep-ms=50 >"$log" 2>&1 &
+serve_pid=$!
+
+for _ in $(seq 1 300); do
+  grep -q '^serving' "$log" 2>/dev/null && break
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+grep -q '^serving' "$log" || {
+  echo "FAIL: server never reached the serving loop" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+# The storm: eight damaged publishes over the RF artifact, each preceded
+# by a good publish so hmd_faultgen always has an intact section table to
+# steer by (and so the registry sees a stream of distinct inodes, like a
+# retrain pipeline gone wrong).
+for i in $(seq 1 8); do
+  "$faultgen_bin" publish "$workdir/good.hmdf" "$target" >/dev/null
+  case $((i % 3)) in
+    0) "$faultgen_bin" torn "$target" >/dev/null ;;
+    1) "$faultgen_bin" bitflip "$target" --section=engine \
+           --offset=$((i * 37)) --bit=$((i % 8)) >/dev/null ;;
+    2) "$faultgen_bin" truncate "$target" --bytes=$((16 + i)) >/dev/null ;;
+  esac
+  sleep 0.2
+done
+# The storm passes; the last publish is good again.
+"$faultgen_bin" publish "$workdir/good.hmdf" "$target" >/dev/null
+
+rc=0
+wait "$serve_pid" || rc=$?
+cat "$log"
+
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: chaos run exited $rc (must degrade, never crash)" >&2
+  exit 1
+}
+
+chaos_traffic=$(grep '^traffic' "$log")
+if [ "$chaos_traffic" != "$baseline_traffic" ]; then
+  echo "FAIL: traffic diverged from baseline under the swap storm" >&2
+  echo "--- baseline" >&2; echo "$baseline_traffic" >&2
+  echo "--- chaos" >&2; echo "$chaos_traffic" >&2
+  exit 1
+fi
+
+grep -Eq '^health .* -> (degraded|quarantined)' "$log" || {
+  echo "FAIL: no degradation recorded — the storm never landed" >&2
+  exit 1
+}
+
+echo "chaos_serve: OK"

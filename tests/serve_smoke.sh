@@ -13,12 +13,16 @@
 #      --mmap=on: zero-copy engines must serve and hot-swap while the
 #      pre-swap snapshot's mapping (old inode) keeps scoring, and once
 #      more with --mmap=off to cover the full-copy fallback.
+#   5. A bit-flipped artifact (hmd_faultgen) is skipped at startup with a
+#      typed checksum error while its healthy sibling keeps serving; with
+#      every artifact corrupt, the server exits 3 (nothing servable).
 #
-# usage: serve_smoke.sh <hmd_train> <hmd_serve>
+# usage: serve_smoke.sh <hmd_train> <hmd_serve> <hmd_faultgen>
 set -euo pipefail
 
 train_bin=$1
 serve_bin=$2
+faultgen_bin=$3
 
 workdir=$(mktemp -d serve_smoke.XXXXXX)
 trap 'rm -rf "$workdir"' EXIT
@@ -83,5 +87,35 @@ grep -q "load=stream" <<<"$out" || {
   echo "FAIL: --mmap=off not honoured" >&2; exit 1; }
 grep -q "zero-copy" <<<"$out" && {
   echo "FAIL: stream path must not produce zero-copy engines" >&2; exit 1; }
+
+# Round 4: corrupt the RF artifact (one flipped engine bit). The server
+# must skip it with a typed checksum error, keep serving the LR sibling,
+# and still exit 0 — one bad artifact never takes down a healthy one.
+"$faultgen_bin" bitflip "$models/dvfs_RF_M5.hmdf" --section=engine \
+    --offset=-1 >/dev/null
+rc=0
+out=$("$serve_bin" --models="$models" "${common[@]}" --batches=4 2>&1) \
+    || rc=$?
+echo "$out"
+
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: corrupted sibling must not fail the serve (exit $rc)" >&2
+  exit 1; }
+grep -q "skipping dvfs_RF_M5: load error \[checksum\]" <<<"$out" || {
+  echo "FAIL: corrupt artifact not rejected with a typed checksum error" >&2
+  exit 1; }
+grep -q "serving  1 model(s)" <<<"$out" || {
+  echo "FAIL: healthy sibling not served past the corrupt artifact" >&2
+  exit 1; }
+
+# With *every* artifact corrupt there is nothing to serve: exit 3, the
+# load/integrity code — distinct from usage (2) and runtime failure (1).
+"$faultgen_bin" bitflip "$models/dvfs_LR_M5.hmdf" --section=scaler \
+    --offset=-1 >/dev/null
+rc=0
+"$serve_bin" --models="$models" "${common[@]}" --batches=4 >/dev/null 2>&1 \
+    || rc=$?
+[ "$rc" -eq 3 ] || {
+  echo "FAIL: nothing-servable must exit 3, got $rc" >&2; exit 1; }
 
 echo "serve_smoke: OK"

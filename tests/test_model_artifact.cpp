@@ -65,9 +65,18 @@ class ModelArtifactTest : public ::testing::Test {
 
   /// File offset of v2 section `index` (0 config, 1 scaler, 2 engine),
   /// read from the section table at byte 16 — the tests never hard-code
-  /// section positions, only the documented table location.
+  /// section positions, only the documented table location. The entry
+  /// stride (16 bytes checksum-less, 24 checksummed) comes from the
+  /// header flags word, never from an assumption about how the file was
+  /// saved.
   std::uint64_t section_offset(int index) {
-    return read_u64(16 + static_cast<std::uintmax_t>(index) * 16);
+    std::ifstream f(path_, std::ios::binary);
+    f.seekg(12);
+    std::uint32_t flags = 0;
+    f.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+    const std::uintmax_t stride =
+        (flags & core::kArtifactFlagSectionChecksums) != 0 ? 24 : 16;
+    return read_u64(16 + static_cast<std::uintmax_t>(index) * stride);
   }
 
   core::TrustedHmd train(core::ModelKind kind, int members = 25) {
@@ -179,15 +188,23 @@ TEST_F(ModelArtifactTest, VersionMismatchIsRejectedNotMisread) {
   EXPECT_THROW(core::load_model(path_), IoError);
 }
 
+// The three structural-rejection tests below save with
+// section_checksums=false: on a checksummed artifact the same
+// corruptions are caught earlier, as LoadError{kChecksum} (pinned down
+// in test_fault_injection.cpp) — these pin the *legacy* v2 defence,
+// which is all a pre-checksum file has.
+
 TEST_F(ModelArtifactTest, UnknownEngineTagIsRejected) {
-  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  core::save_model(train(core::ModelKind::kRandomForest), path_,
+                   core::kModelFormatVersion, /*section_checksums=*/false);
   // The engine id is the u32 opening the engine section (table entry 2).
   corrupt_byte(section_offset(2), 0x7e);
   EXPECT_THROW(core::load_model(path_), IoError);
 }
 
 TEST_F(ModelArtifactTest, CorruptForestFeatureWidthIsRejected) {
-  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  core::save_model(train(core::ModelKind::kRandomForest), path_,
+                   core::kModelFormatVersion, /*section_checksums=*/false);
   // The forest blob's u64 feature width follows the engine-id u32.
   // Zeroing its low byte makes the width implausible; the loader must
   // throw rather than hand the traversal an arena it could misindex.
@@ -196,7 +213,8 @@ TEST_F(ModelArtifactTest, CorruptForestFeatureWidthIsRejected) {
 }
 
 TEST_F(ModelArtifactTest, MisalignedSectionOffsetIsRejected) {
-  core::save_model(train(core::ModelKind::kRandomForest), path_);
+  core::save_model(train(core::ModelKind::kRandomForest), path_,
+                   core::kModelFormatVersion, /*section_checksums=*/false);
   // Nudge the *config* section's table entry off its 64-byte boundary.
   // The config section is followed by alignment padding, so offset+4 and
   // its size stay comfortably in bounds — only the alignment check can

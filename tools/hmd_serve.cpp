@@ -24,24 +24,39 @@
 // flag the mode is auto: map, falling back to a full read if the
 // mapping fails.
 //
+// Failure handling: the server degrades, it does not crash. A model whose
+// artifact fails to load at startup is skipped with a warning; a model
+// whose *replacement* fails mid-run keeps serving its last-good snapshot
+// (the registry's retry/quarantine machinery, detector_registry.h) and
+// every health-state transition is logged as a `health` line; the end of
+// the run prints a per-model health summary. Exit codes: 0 success,
+// 1 runtime failure (hot-swap self-check failed), 2 usage, 3 nothing
+// servable / fatal load error. HMD_FAILPOINTS (common/failpoint.h) is
+// honoured for fault-injection drills.
+//
 // usage: hmd_serve [--models=DIR] [model.hmdf ...] [--dataset=dvfs|hpc]
 //                  [--batches=N] [--threads=N] [--scale=F]
 //                  [--model=rf|lr|svm] [--outputs=prediction|detect|estimate]
 //                  [--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]]
+//                  [--sleep-ms=N]
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/detector_registry.h"
 #include "api/score.h"
 #include "bench_common.h"
+#include "common/error.h"
+#include "common/failpoint.h"
 #include "core/hmd.h"
 
 namespace {
@@ -56,7 +71,8 @@ using clock_type = std::chrono::steady_clock;
       "usage: hmd_serve [--models=DIR] [model.hmdf ...] "
       "[--dataset=dvfs|hpc] [--batches=N] [--threads=N] [--scale=F] "
       "[--model=rf|lr|svm] [--outputs=prediction|detect|estimate] "
-      "[--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]]\n",
+      "[--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]] "
+      "[--sleep-ms=N]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -67,6 +83,7 @@ struct ServeArgs {
   std::string dataset = "dvfs";
   int batches = 200;
   int refresh_every = 16;
+  int sleep_ms = 0;  ///< pacing between rounds (chaos drills need wall time)
   std::string swap_with;
   std::optional<core::ModelKind> model_filter;
   api::OutputMask outputs = api::kDetectionOutputs;
@@ -113,6 +130,9 @@ ServeArgs parse_args(int argc, char** argv) {
     } else if (arg.rfind("--refresh-every=", 0) == 0) {
       args.refresh_every = std::atoi(value_of("--refresh-every=").c_str());
       if (args.refresh_every < 1) usage_error(arg);
+    } else if (arg.rfind("--sleep-ms=", 0) == 0) {
+      args.sleep_ms = std::atoi(value_of("--sleep-ms=").c_str());
+      if (args.sleep_ms < 0) usage_error(arg);
     } else if (arg.rfind("--swap-with=", 0) == 0) {
       args.swap_with = value_of("--swap-with=");
     } else if (arg == "--mmap" || arg == "--mmap=on") {
@@ -166,11 +186,30 @@ void publish_over(const std::string& source, const std::string& target) {
   std::filesystem::rename(tmp, target);
 }
 
-}  // namespace
+/// Log every health-state transition since the previous call (and update
+/// `last`) — the serving log's record of degradation and recovery.
+void report_health_changes(const api::DetectorRegistry& registry,
+                           std::map<std::string, api::HealthState>& last) {
+  for (const api::ModelHealth& entry : registry.health()) {
+    const auto it = last.find(entry.key);
+    const api::HealthState previous =
+        it == last.end() ? api::HealthState::kHealthy : it->second;
+    if (previous != entry.state) {
+      if (entry.state == api::HealthState::kHealthy) {
+        std::printf("health   %-24s %s -> healthy (recovered)\n",
+                    entry.key.c_str(), api::health_state_name(previous));
+      } else {
+        std::printf("health   %-24s %s -> %s: %s\n", entry.key.c_str(),
+                    api::health_state_name(previous),
+                    api::health_state_name(entry.state),
+                    entry.last_error.c_str());
+      }
+    }
+    last[entry.key] = entry.state;
+  }
+}
 
-int main(int argc, char** argv) {
-  const ServeArgs args = parse_args(argc, argv);
-
+int run(const ServeArgs& args) {
   api::DetectorRegistry registry(args.options.n_threads, args.load_mode);
   if (!args.models_dir.empty()) {
     const std::size_t found = registry.add_directory(args.models_dir);
@@ -213,8 +252,10 @@ int main(int argc, char** argv) {
     served.push_back(std::move(model));
   }
   if (served.empty()) {
+    // Nothing servable is a load/integrity outcome (3), not a runtime
+    // crash (1): every registered artifact was rejected at load.
     std::fprintf(stderr, "hmd_serve: no models to serve\n");
-    return 1;
+    return 3;
   }
   const char* mode_name = args.load_mode == core::LoadMode::kMmap ? "mmap"
                           : args.load_mode == core::LoadMode::kStream
@@ -233,9 +274,15 @@ int main(int argc, char** argv) {
 
   const int swap_round = args.batches / 2;
   bool swap_verified = args.swap_with.empty();
+  std::map<std::string, api::HealthState> health_seen;
+  // Baseline; logs any degradation already incurred by startup loads.
+  report_health_changes(registry, health_seen);
 
   const auto start = clock_type::now();
   for (int round = 0; round < args.batches; ++round) {
+    if (args.sleep_ms > 0 && round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.sleep_ms));
+    }
     if (!args.swap_with.empty() && round == swap_round) {
       // Hot-swap self-check: overwrite the first model's artifact and
       // demand that refresh() picks it up, while the snapshot taken
@@ -259,10 +306,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       swap_verified = true;
+      report_health_changes(registry, health_seen);
     } else if (round > 0 && round % args.refresh_every == 0) {
       for (const std::string& key : registry.refresh()) {
         std::printf("refresh  reloaded %s\n", key.c_str());
       }
+      report_health_changes(registry, health_seen);
     }
 
     for (ServedModel& model : served) {
@@ -314,5 +363,36 @@ int main(int argc, char** argv) {
               "items/s\n",
               total_items, served.size(), seconds,
               static_cast<double>(total_items) / seconds);
+  for (const api::ModelHealth& entry : registry.health()) {
+    std::printf(
+        "health   %-24s %s, loads ok=%llu failed=%llu retried=%llu\n",
+        entry.key.c_str(), api::health_state_name(entry.state),
+        static_cast<unsigned long long>(entry.loads_ok),
+        static_cast<unsigned long long>(entry.loads_failed),
+        static_cast<unsigned long long>(entry.retries));
+  }
   return swap_verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeArgs args = parse_args(argc, argv);
+  if (const std::size_t armed = fail::arm_from_env()) {
+    std::fprintf(stderr, "hmd_serve: %zu failpoint(s) armed from env\n",
+                 armed);
+  }
+  try {
+    return run(args);
+  } catch (const LoadError& error) {
+    // One structured line, machine-greppable: tool, class, code, path,
+    // detail — what a supervisor needs to decide retry vs page.
+    std::fprintf(stderr, "hmd_serve: fatal load error [%s] %s: %s\n",
+                 load_error_code_name(error.code()), error.path().c_str(),
+                 error.detail().c_str());
+    return 3;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "hmd_serve: fatal error: %s\n", error.what());
+    return 1;
+  }
 }

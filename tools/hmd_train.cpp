@@ -9,6 +9,11 @@
 //
 // usage: hmd_train [--dataset=dvfs|hpc] [--model=rf|lr|svm] [--members=N]
 //                  [--threads=N] [--scale=F] [--seed=N] [--out=PATH]
+//
+// Exit codes: 0 success, 1 runtime failure (training / verification),
+// 2 usage, 3 load or integrity error (a corrupt dataset cache or a
+// just-written artifact that fails to reload). Fatal errors are reported
+// as one structured line on stderr.
 
 #include <chrono>
 #include <cstdio>
@@ -17,6 +22,8 @@
 #include <string>
 
 #include "bench_common.h"
+#include "common/error.h"
+#include "common/failpoint.h"
 #include "core/hmd.h"
 #include "core/model_artifact.h"
 
@@ -84,10 +91,7 @@ TrainArgs parse_args(int argc, char** argv) {
   return args;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  TrainArgs args = parse_args(argc, argv);
+int run(TrainArgs args) {
   const data::DatasetBundle bundle = args.dataset == "dvfs"
                                          ? bench::dvfs_bundle(args.options)
                                          : bench::hpc_bundle(args.options);
@@ -144,4 +148,24 @@ int main(int argc, char** argv) {
               args.out.c_str(), load_ms, fit_ms / load_ms, want.size(),
               want.size());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TrainArgs args = parse_args(argc, argv);
+  fail::arm_from_env();
+  try {
+    return run(std::move(args));
+  } catch (const LoadError& error) {
+    // One structured line, machine-greppable: tool, class, code, path,
+    // detail — what a supervisor needs to decide retry vs page.
+    std::fprintf(stderr, "hmd_train: fatal load error [%s] %s: %s\n",
+                 load_error_code_name(error.code()), error.path().c_str(),
+                 error.detail().c_str());
+    return 3;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "hmd_train: fatal error: %s\n", error.what());
+    return 1;
+  }
 }
