@@ -1,0 +1,277 @@
+// Serving front-end bench: the socket path end to end, measured.
+//
+// Starts the real ScoreServer (serve/server.h) on a loopback ephemeral
+// port — an in-process thread, but real TCP, real epoll, real framing —
+// and drives it with the wire-protocol load generator (serve/loadgen.h),
+// sweeping two batching policies across connection counts:
+//
+//   batch1    max_batch_rows=1: every request scores alone, the
+//             no-coalescing baseline;
+//   adaptive  the default policy (rows-cap 256, deadline 200 us, idle
+//             flush): concurrent requests coalesce into engine-sized
+//             tiles.
+//
+// Every response in every run is compared bit-for-bit against a direct
+// score() of the same rows (the serving contract in serve/wire.h), and a
+// mask sweep re-checks parity for prediction-only, detection, and full
+// estimate requests. The summary — latency percentiles, throughput
+// series, the batch-1 vs coalesced knee — is written to
+// BENCH_serving.json so the serving perf trajectory is tracked
+// PR-over-PR.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/detector_registry.h"
+#include "api/score.h"
+#include "bench_common.h"
+#include "core/hmd.h"
+#include "core/model_artifact.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace hmd;
+
+constexpr std::size_t kRowsPerRequest = 4;
+constexpr char kModelKey[] = "serving_probe";
+
+struct RunConfig {
+  const char* policy;  ///< "batch1" | "adaptive"
+  std::size_t max_batch_rows;
+  int max_delay_us;
+  int connections;
+  int pipeline;
+  std::uint64_t requests;
+};
+
+struct RunRow {
+  RunConfig config;
+  serve::LoadGenReport report;
+  double mean_batch_rows = 0.0;
+  std::uint64_t batches = 0;
+};
+
+/// One measured run: fresh server (so batcher stats are per-run and read
+/// race-free after join), loadgen to completion, stats folded together.
+RunRow run_config(api::DetectorRegistry& registry, const Matrix& source,
+                  const api::ScoreResult& expected, const RunConfig& config) {
+  serve::ServerOptions options;
+  options.batcher.max_batch_rows = config.max_batch_rows;
+  options.batcher.max_delay_us = config.max_delay_us;
+  serve::ScoreServer server(registry, options);
+  std::thread server_thread([&server] { server.run(); });
+
+  serve::LoadGenOptions load;
+  load.port = server.port();
+  load.model_key = kModelKey;
+  load.source = &source;
+  load.rows_per_request = kRowsPerRequest;
+  load.connections = config.connections;
+  load.pipeline = config.pipeline;
+  load.total_requests = config.requests;
+  load.expected = &expected;
+
+  RunRow row;
+  row.config = config;
+  try {
+    row.report = serve::run_load(load);
+  } catch (...) {
+    server.request_stop();
+    server_thread.join();
+    throw;
+  }
+  server.request_stop();
+  server_thread.join();
+  const serve::BatcherStats& stats = server.batcher_stats();
+  row.batches = stats.batches;
+  row.mean_batch_rows = stats.batches > 0
+                            ? static_cast<double>(stats.rows) /
+                                  static_cast<double>(stats.batches)
+                            : 0.0;
+  return row;
+}
+
+struct MaskRun {
+  const char* name;
+  api::OutputMask outputs;
+  bool parity_ok = false;
+  std::string detail;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
+  bench::print_header("bench_serving",
+                      "socket front-end: adaptive micro-batching vs batch-1, "
+                      "bit-parity asserted on every response");
+
+  const data::DatasetBundle bundle = bench::dvfs_bundle(options);
+  core::TrustedHmd hmd(bench::paper_config(options));
+  hmd.fit(bundle.train);
+
+  std::filesystem::create_directories("bench_results");
+  const std::string artifact = "bench_results/serving_probe.hmdf";
+  core::save_model(hmd, artifact);
+  api::DetectorRegistry registry(options.n_threads);
+  registry.add(kModelKey, artifact);
+  registry.get(kModelKey);  // load outside the measured runs
+
+  const Matrix& source = bundle.test.X;
+  api::ScoreRequest oracle_request;
+  oracle_request.x = &source;
+  oracle_request.outputs = api::kDetectionOutputs;
+  api::ScoreResult expected;
+  hmd.score(oracle_request, expected);
+
+  // Latency/throughput series: both policies across connection counts.
+  std::vector<RunRow> rows;
+  bool all_parity = true;
+  for (const bool adaptive : {false, true}) {
+    for (const int connections : {1, 4, 16, 32}) {
+      RunConfig config;
+      config.policy = adaptive ? "adaptive" : "batch1";
+      config.max_batch_rows = adaptive ? 256 : 1;
+      config.max_delay_us = adaptive ? 200 : 0;
+      config.connections = connections;
+      config.pipeline = 4;
+      config.requests = 2000ull * static_cast<unsigned>(connections);
+      const RunRow row = run_config(registry, source, expected, config);
+      all_parity = all_parity && row.report.parity_ok &&
+                   row.report.wire_errors == 0;
+      std::printf("%-8s conns=%-2d  %8.0f req/s  %8.0f rows/s  p50 %7.1f us"
+                  "  p99 %8.1f us  p99.9 %8.1f us  batch %.1f rows  %s\n",
+                  config.policy, connections, row.report.requests_per_sec,
+                  row.report.rows_per_sec, row.report.p50_us,
+                  row.report.p99_us, row.report.p999_us, row.mean_batch_rows,
+                  row.report.parity_ok ? "parity ok" : "PARITY FAIL");
+      if (!row.report.parity_ok) {
+        std::printf("  mismatch: %s\n", row.report.parity_detail.c_str());
+      }
+      rows.push_back(row);
+    }
+  }
+
+  // Mask sweep: the bit-parity claim must hold for every served mask
+  // family, not just the detection shape the series above used.
+  std::vector<MaskRun> mask_runs = {
+      {"prediction", api::kPredictionOnly | api::kOutTrusted, false, ""},
+      {"detect", api::kDetectionOutputs, false, ""},
+      {"estimate", api::kEstimateOutputs, false, ""},
+  };
+  for (MaskRun& mask : mask_runs) {
+    api::ScoreRequest request;
+    request.x = &source;
+    request.outputs = mask.outputs;
+    api::ScoreResult mask_expected;
+    hmd.score(request, mask_expected);
+    RunConfig config{"adaptive", 256, 200, 4, 4, 1000};
+    serve::ServerOptions server_options;
+    server_options.batcher.max_batch_rows = config.max_batch_rows;
+    server_options.batcher.max_delay_us = config.max_delay_us;
+    serve::ScoreServer server(registry, server_options);
+    std::thread server_thread([&server] { server.run(); });
+    serve::LoadGenOptions load;
+    load.port = server.port();
+    load.model_key = kModelKey;
+    load.outputs = mask.outputs;
+    load.source = &source;
+    load.rows_per_request = kRowsPerRequest;
+    load.connections = config.connections;
+    load.pipeline = config.pipeline;
+    load.total_requests = config.requests;
+    load.expected = &mask_expected;
+    try {
+      const serve::LoadGenReport report = serve::run_load(load);
+      mask.parity_ok = report.parity_ok && report.wire_errors == 0;
+      mask.detail = report.parity_detail;
+    } catch (const std::exception& error) {
+      mask.parity_ok = false;
+      mask.detail = error.what();
+    }
+    server.request_stop();
+    server_thread.join();
+    all_parity = all_parity && mask.parity_ok;
+    std::printf("mask     %-10s %s\n", mask.name,
+                mask.parity_ok ? "parity ok" : mask.detail.c_str());
+  }
+
+  // The knee: where coalescing starts paying. Compare peak throughput and
+  // the p99 at the highest concurrency.
+  double batch1_peak = 0.0, adaptive_peak = 0.0;
+  double batch1_p99_hi = 0.0, adaptive_p99_hi = 0.0;
+  for (const RunRow& row : rows) {
+    const bool adaptive = std::string(row.config.policy) == "adaptive";
+    (adaptive ? adaptive_peak : batch1_peak) =
+        std::max(adaptive ? adaptive_peak : batch1_peak,
+                 row.report.rows_per_sec);
+    if (row.config.connections == 32) {
+      (adaptive ? adaptive_p99_hi : batch1_p99_hi) = row.report.p99_us;
+    }
+  }
+  std::printf("knee     batch1 peak %.0f rows/s, adaptive peak %.0f rows/s "
+              "(%.2fx); p99 @32 conns: %.1f us -> %.1f us\n",
+              batch1_peak, adaptive_peak, adaptive_peak / batch1_peak,
+              batch1_p99_hi, adaptive_p99_hi);
+
+  std::FILE* out = std::fopen("BENCH_serving.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_serving: cannot write BENCH_serving.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_serving\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"rows_per_request\": %zu,\n", kRowsPerRequest);
+  std::fprintf(out, "  \"pipeline_per_connection\": 4,\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"series\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"policy\": \"%s\", \"connections\": %d, "
+                 "\"requests\": %llu, \"requests_per_sec\": %.1f, "
+                 "\"rows_per_sec\": %.1f,\n     \"p50_us\": %.1f, "
+                 "\"p90_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+                 "\"mean_us\": %.1f, \"max_us\": %.1f,\n     "
+                 "\"mean_batch_rows\": %.2f, \"batches\": %llu, "
+                 "\"parity_ok\": %s}%s\n",
+                 row.config.policy, row.config.connections,
+                 static_cast<unsigned long long>(row.report.requests_sent),
+                 row.report.requests_per_sec, row.report.rows_per_sec,
+                 row.report.p50_us, row.report.p90_us, row.report.p99_us,
+                 row.report.p999_us, row.report.mean_us, row.report.max_us,
+                 row.mean_batch_rows,
+                 static_cast<unsigned long long>(row.batches),
+                 row.report.parity_ok ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"mask_parity\": [\n");
+  for (std::size_t i = 0; i < mask_runs.size(); ++i) {
+    std::fprintf(out, "    {\"outputs\": \"%s\", \"parity_ok\": %s}%s\n",
+                 mask_runs[i].name, mask_runs[i].parity_ok ? "true" : "false",
+                 i + 1 < mask_runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"knee\": {\"batch1_peak_rows_per_sec\": %.1f, "
+               "\"adaptive_peak_rows_per_sec\": %.1f, "
+               "\"coalescing_speedup\": %.2f,\n   "
+               "\"batch1_p99_us_at_32_conns\": %.1f, "
+               "\"adaptive_p99_us_at_32_conns\": %.1f},\n",
+               batch1_peak, adaptive_peak, adaptive_peak / batch1_peak,
+               batch1_p99_hi, adaptive_p99_hi);
+  std::fprintf(out, "  \"all_parity_ok\": %s\n", all_parity ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::filesystem::remove(artifact);
+  std::printf("summary written to BENCH_serving.json\n");
+  return all_parity ? 0 : 1;
+}

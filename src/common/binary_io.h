@@ -27,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/error.h"
 
 static_assert(std::endian::native == std::endian::little,
@@ -119,6 +120,7 @@ class AlignedWriter {
   void write_pod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
     out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    absorb(&value, sizeof(T));
     offset_ += sizeof(T);
   }
 
@@ -127,6 +129,7 @@ class AlignedWriter {
     static_assert(std::is_trivially_copyable_v<T>);
     out_.write(reinterpret_cast<const char*>(data),
                static_cast<std::streamsize>(n * sizeof(T)));
+    absorb(data, n * sizeof(T));
     offset_ += n * sizeof(T);
   }
 
@@ -137,13 +140,35 @@ class AlignedWriter {
       const std::size_t pad = std::min<std::size_t>(
           sizeof(kZeros), alignment - offset_ % alignment);
       out_.write(kZeros, static_cast<std::streamsize>(pad));
+      absorb(kZeros, pad);
       offset_ += pad;
     }
   }
 
+  /// Start hashing every byte written from here on (including padding).
+  /// This is how the checksummed `.hmdf` save computes its section XXH64s
+  /// in-stream, as the bytes go out, instead of re-reading the temp file
+  /// afterwards to patch them in.
+  void begin_hash() {
+    hash_.reset();
+    hashing_ = true;
+  }
+
+  /// Stop hashing and return the XXH64 of everything since begin_hash().
+  std::uint64_t end_hash() {
+    hashing_ = false;
+    return hash_.digest();
+  }
+
  private:
+  void absorb(const void* data, std::size_t n) {
+    if (hashing_) hash_.update(data, n);
+  }
+
   std::ostream& out_;
   std::uint64_t offset_ = 0;
+  Xxhash64Stream hash_;
+  bool hashing_ = false;
 };
 
 /// Bounds- and alignment-checked cursor over an in-memory artifact. The

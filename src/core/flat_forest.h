@@ -110,7 +110,7 @@ class FlatForestEngine final : public InferenceEngine {
   std::size_t n_trees() const { return roots_.size(); }
   std::size_t n_nodes() const { return nodes_.size(); }
   std::size_t n_stumps() const { return n_stumps_; }
-  std::size_t n_features() const { return n_features_; }
+  std::size_t n_features() const override { return n_features_; }
 
   static constexpr std::size_t kTileRows = 256;
 

@@ -107,7 +107,7 @@ class FlatLinearEngine final : public InferenceEngine {
   }
 
   MemberKind member_kind() const { return kind_; }
-  std::size_t n_features() const { return n_features_; }
+  std::size_t n_features() const override { return n_features_; }
 
   static constexpr std::size_t kTileRows = 256;
 

@@ -74,6 +74,11 @@ class InferenceEngine {
   virtual EngineId engine_id() const = 0;
   virtual std::size_t n_members() const = 0;
 
+  /// Expected input width. Rows narrower than this would read features
+  /// out of bounds, so serving layers validate request shapes against it
+  /// before ever building a Matrix from untrusted bytes.
+  virtual std::size_t n_features() const = 0;
+
   /// Full ensemble statistics (votes, posterior sum, entropy sum) for a
   /// single raw-feature sample, accumulated in member order — bit-identical
   /// to the reference member-by-member path.

@@ -192,9 +192,11 @@ void save_model_v1(std::ostream& out, const UntrustedHmd& hmd) {
 
 /// The v2 zero-copy layout (contract in model_artifact.h): header +
 /// section table, then 64-byte-aligned config / scaler / engine sections.
-/// Offsets and sizes are patched in once known; section *checksums* are
-/// left zero here and filled in by finalize_checksums() after the stream
-/// is closed (hashing wants the finished bytes, read back in one sweep).
+/// Offsets, sizes, and checksums are patched in once known. Section
+/// hashes are computed *in-stream* by the AlignedWriter as the bytes go
+/// out (begin_hash/end_hash around each section), so the checksummed save
+/// never re-reads the temp file — one write pass, one seekp to patch the
+/// finished header.
 void save_model_v2(std::ostream& out, const UntrustedHmd& hmd,
                    bool section_checksums) {
   const InferenceEngine& engine = hmd.engine();
@@ -217,12 +219,17 @@ void save_model_v2(std::ostream& out, const UntrustedHmd& hmd,
     }
   }
 
+  // Pad to the section boundary *before* begin_hash so the hash covers
+  // exactly [entry.offset, entry.offset + entry.size) — the same bytes
+  // the load-path verifier sweeps.
   const auto begin_section = [&](ChecksumSectionEntry& entry) {
     writer.pad_to(kSectionAlignment);
     entry.offset = writer.offset();
+    if (section_checksums) writer.begin_hash();
   };
   const auto end_section = [&](ChecksumSectionEntry& entry) {
     entry.size = writer.offset() - entry.offset;
+    if (section_checksums) entry.checksum = writer.end_hash();
   };
 
   begin_section(sections[0]);
@@ -249,54 +256,29 @@ void save_model_v2(std::ostream& out, const UntrustedHmd& hmd,
 
   out.seekp(static_cast<std::streamoff>(kSectionTableOffset));
   if (section_checksums) {
-    out.write(reinterpret_cast<const char*>(sections), sizeof(sections));
+    // Assemble the finished 96-byte header in memory so the header hash
+    // can cover the *patched* table, then write table + hash in one go.
+    // Bytes [0, kSectionTableOffset) are identical to what streamed out
+    // above, so the file ends up byte-for-byte what the two-pass patcher
+    // used to produce.
+    unsigned char header[kChecksumHeaderBytes];
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    std::memcpy(header + 4, &kModelFormatVersion, 4);
+    std::memcpy(header + 8, &kSectionCount, 4);
+    constexpr std::uint32_t kFlags = kArtifactFlagSectionChecksums;
+    std::memcpy(header + 12, &kFlags, 4);
+    std::memcpy(header + kSectionTableOffset, sections, sizeof(sections));
+    const std::uint64_t header_hash = io::xxhash64(header, kHeaderHashOffset);
+    std::memcpy(header + kHeaderHashOffset, &header_hash,
+                sizeof(header_hash));
+    out.write(reinterpret_cast<const char*>(header + kSectionTableOffset),
+              static_cast<std::streamsize>(kChecksumHeaderBytes -
+                                           kSectionTableOffset));
   } else {
     for (const ChecksumSectionEntry& entry : sections) {
       out.write(reinterpret_cast<const char*>(&entry.offset), 8);
       out.write(reinterpret_cast<const char*>(&entry.size), 8);
     }
-  }
-}
-
-/// Second save pass: read the finished temp file back (one sequential
-/// sweep, straight out of the page cache), compute each section's XXH64
-/// and then the header hash *over the patched table*, and write the
-/// [kSectionTableOffset, kChecksumHeaderBytes) region in place. Runs
-/// before fsync/rename, so a published artifact always carries hashes
-/// consistent with its bytes.
-void finalize_checksums(const std::string& tmp_path) {
-  const io::ArtifactBuffer buffer = io::ArtifactBuffer::read_file(tmp_path);
-  if (buffer.size() < kChecksumHeaderBytes) {
-    throw IoError("save_model: temp artifact " + tmp_path +
-                  " shorter than its own header");
-  }
-  unsigned char header[kChecksumHeaderBytes];
-  std::memcpy(header, buffer.data(), kChecksumHeaderBytes);
-  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
-    const std::size_t entry_at =
-        kSectionTableOffset + i * sizeof(ChecksumSectionEntry);
-    ChecksumSectionEntry entry;
-    std::memcpy(&entry, header + entry_at, sizeof(entry));
-    entry.checksum = io::xxhash64(buffer.data() + entry.offset,
-                                  static_cast<std::size_t>(entry.size));
-    std::memcpy(header + entry_at, &entry, sizeof(entry));
-  }
-  const std::uint64_t header_hash = io::xxhash64(header, kHeaderHashOffset);
-  std::memcpy(header + kHeaderHashOffset, &header_hash, sizeof(header_hash));
-
-  std::fstream out(tmp_path,
-                   std::ios::binary | std::ios::in | std::ios::out);
-  if (!out) {
-    throw IoError("save_model: cannot reopen " + tmp_path +
-                  " to patch checksums");
-  }
-  out.seekp(static_cast<std::streamoff>(kSectionTableOffset));
-  out.write(reinterpret_cast<const char*>(header + kSectionTableOffset),
-            static_cast<std::streamsize>(kChecksumHeaderBytes -
-                                         kSectionTableOffset));
-  out.flush();
-  if (!out) {
-    throw IoError("save_model: checksum patch failed for " + tmp_path);
   }
 }
 
@@ -506,9 +488,6 @@ void save_model(const UntrustedHmd& hmd, const std::string& path,
     // otherwise be fsynced and renamed over the good artifact below.
     out.flush();
     if (!out) throw IoError("save_model: write failed for " + tmp_path);
-  }
-  if (format_version == kModelFormatVersion && section_checksums) {
-    finalize_checksums(tmp_path);
   }
   // Durability before visibility: flush the temp file's bytes to stable
   // storage *before* the rename publishes them, then flush the directory

@@ -1,0 +1,127 @@
+#include "serve/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace hmd::serve {
+
+namespace {
+
+IoError errno_error(const char* what) {
+  return IoError(std::string("event loop: ") + what + ": " +
+                 std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw errno_error("epoll_create1 failed");
+}
+
+EventLoop::~EventLoop() {
+  for (auto& [fd, watch] : watches_) {
+    if (watch->is_timer) ::close(fd);
+  }
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
+  auto watch = std::make_shared<Watch>();
+  watch->on_event = std::move(cb);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw errno_error("epoll_ctl(ADD) failed");
+  }
+  watches_[fd] = std::move(watch);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw errno_error("epoll_ctl(MOD) failed");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  it->second->dead = true;  // events already fetched this wave are dropped
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (it->second->is_timer) ::close(fd);
+  watches_.erase(it);
+}
+
+int EventLoop::add_timer_ms(int interval_ms, TimerCallback cb) {
+  const int fd = ::timerfd_create(CLOCK_MONOTONIC,
+                                  TFD_NONBLOCK | TFD_CLOEXEC);
+  if (fd < 0) throw errno_error("timerfd_create failed");
+  itimerspec spec{};
+  spec.it_interval.tv_sec = interval_ms / 1000;
+  spec.it_interval.tv_nsec =
+      static_cast<long>(interval_ms % 1000) * 1000000L;
+  spec.it_value = spec.it_interval;
+  if (::timerfd_settime(fd, 0, &spec, nullptr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw errno_error("timerfd_settime failed");
+  }
+
+  auto watch = std::make_shared<Watch>();
+  watch->is_timer = true;
+  watch->on_tick = std::move(cb);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw errno_error("epoll_ctl(ADD) failed for timer");
+  }
+  watches_[fd] = std::move(watch);
+  return fd;
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw errno_error("epoll_wait failed");
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    auto it = watches_.find(fd);
+    if (it == watches_.end()) continue;  // removed earlier in this wave
+    // Hold a reference: the callback may remove this or any other watch.
+    std::shared_ptr<Watch> watch = it->second;
+    if (watch->dead) continue;
+    ++dispatched;
+    if (watch->is_timer) {
+      std::uint64_t expirations = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(fd, &expirations, sizeof(expirations));
+      watch->on_tick();
+    } else {
+      watch->on_event(events[i].events);
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace hmd::serve

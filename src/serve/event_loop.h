@@ -1,0 +1,73 @@
+#pragma once
+// Minimal epoll reactor behind the socket front-end (serve/server.h):
+// register fds with callbacks, drive one epoll_wait round at a time from
+// the owner's run loop. Periodic work (the registry refresh() cadence)
+// rides a CLOCK_MONOTONIC timerfd so it fires on wall-clock time,
+// independent of traffic — the old per-round refresh counter made
+// hot-swap latency a function of load.
+//
+// Single-threaded by design: callbacks run on the thread calling
+// poll_once(), and all registration methods must be called from that
+// thread. A callback may add or remove watches — including watches with
+// pending events in the same epoll wave; removal is tracked so a dead
+// watch's events are dropped, never dispatched (asserted by
+// tests/test_event_loop.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace hmd::serve {
+
+class EventLoop {
+ public:
+  /// `events` is the epoll event bitmask (EPOLLIN | EPOLLOUT | ...).
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();  ///< throws IoError when epoll_create1 fails
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watch `fd` for `events`. The fd stays owned by the caller (closed by
+  /// the caller after remove()); timer fds from add_timer_ms are the one
+  /// exception.
+  void add(int fd, std::uint32_t events, FdCallback cb);
+
+  /// Change the event mask of a watched fd (EPOLLOUT toggling).
+  void modify(int fd, std::uint32_t events);
+
+  /// Stop watching `fd`. Safe from inside a callback, including for fds
+  /// with undelivered events in the current wave.
+  void remove(int fd);
+
+  bool watched(int fd) const { return watches_.count(fd) != 0; }
+  std::size_t size() const { return watches_.size(); }
+
+  /// Periodic callback every `interval_ms`, first firing one interval
+  /// from now. Returns the timerfd (owned by the loop; pass it to
+  /// remove() to cancel, which also closes it).
+  int add_timer_ms(int interval_ms, TimerCallback cb);
+
+  /// One epoll_wait + dispatch round. timeout_ms < 0 blocks until an
+  /// event; 0 polls. Returns the number of events dispatched (0 on
+  /// timeout). EINTR reports as a timeout so callers re-check their stop
+  /// conditions.
+  int poll_once(int timeout_ms);
+
+ private:
+  struct Watch {
+    FdCallback on_event;
+    TimerCallback on_tick;
+    bool is_timer = false;
+    bool dead = false;
+  };
+
+  int epoll_fd_ = -1;
+  std::map<int, std::shared_ptr<Watch>> watches_;
+};
+
+}  // namespace hmd::serve

@@ -1,0 +1,342 @@
+#include "serve/wire.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace hmd::serve::wire {
+
+namespace {
+
+void put_bytes(std::vector<unsigned char>& out, const void* data,
+               std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  out.insert(out.end(), p, p + n);
+}
+
+template <typename T>
+void put_pod(std::vector<unsigned char>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+T get_pod(const unsigned char* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+void put_header(std::vector<unsigned char>& out, FrameType type,
+                std::uint32_t request_id, std::uint32_t payload_bytes) {
+  put_bytes(out, kMagic, sizeof(kMagic));
+  put_pod(out, kProtocolVersion);
+  put_pod(out, static_cast<std::uint8_t>(type));
+  put_pod(out, std::uint16_t{0});
+  put_pod(out, request_id);
+  put_pod(out, payload_bytes);
+}
+
+/// The packed result columns in ascending OutputMask bit order. Shared by
+/// the pack / unpack paths so the two can never disagree on the layout
+/// (result_payload_bytes mirrors the same order). `Result` is ScoreResult
+/// or const ScoreResult.
+template <typename Result, typename Fn>
+void for_each_column(api::OutputMask outputs, Result& r, Fn&& fn) {
+  using namespace api;
+  if (outputs & kOutPrediction) fn(r.prediction);
+  if (outputs & kOutConfidence) fn(r.confidence);
+  if (outputs & kOutVotes) fn(r.votes);
+  if (outputs & kOutVoteEntropy) fn(r.vote_entropy);
+  if (outputs & kOutSoftEntropy) fn(r.soft_entropy);
+  if (outputs & kOutExpectedEntropy) fn(r.expected_entropy);
+  if (outputs & kOutMutualInformation) fn(r.mutual_information);
+  if (outputs & kOutVariationRatio) fn(r.variation_ratio);
+  if (outputs & kOutMaxProbability) fn(r.max_probability);
+  if (outputs & kOutScore) fn(r.score);
+  if (outputs & kOutTrusted) fn(r.trusted);
+}
+
+void parse_request_payload(const unsigned char* p, std::uint32_t payload,
+                           std::uint32_t request_id, RequestView& out) {
+  constexpr std::uint32_t kFixed = 18;  // outputs+mode+rows+cols+key_len
+  if (payload < kFixed) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "request payload shorter than its fixed fields (" +
+                        std::to_string(payload) + " bytes)");
+  }
+  const auto outputs = get_pod<std::uint32_t>(p);
+  const auto mode_raw = get_pod<std::uint32_t>(p + 4);
+  const auto rows = get_pod<std::uint32_t>(p + 8);
+  const auto cols = get_pod<std::uint32_t>(p + 12);
+  const auto key_len = get_pod<std::uint16_t>(p + 16);
+
+  if (outputs == 0 || (outputs & ~kKnownOutputs) != 0) {
+    throw WireError(ErrorCode::kMaskInvalid, request_id,
+                    "OutputMask 0x" + std::to_string(outputs) +
+                        " is empty or has unknown bits");
+  }
+  if (mode_raw != kModeUnset &&
+      mode_raw > static_cast<std::uint32_t>(
+                     core::UncertaintyMode::kMaxProbability)) {
+    throw WireError(ErrorCode::kModeInvalid, request_id,
+                    "uncertainty mode " + std::to_string(mode_raw) +
+                        " out of range");
+  }
+  if (rows == 0 || rows > kMaxRowsPerRequest || cols == 0 ||
+      cols > kMaxColsPerRequest) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "implausible shape " + std::to_string(rows) + "x" +
+                        std::to_string(cols));
+  }
+  if (key_len == 0 || key_len > kMaxKeyBytes) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "model key length " + std::to_string(key_len) +
+                        " out of range");
+  }
+  // 64-bit arithmetic: rows*cols*8 can overflow u32 long before the
+  // payload bound rejects it.
+  const std::uint64_t feature_bytes =
+      std::uint64_t{rows} * cols * sizeof(double);
+  const std::uint64_t expected = kFixed + key_len + feature_bytes;
+  if (expected != payload) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "payload is " + std::to_string(payload) +
+                        " bytes, geometry needs " + std::to_string(expected));
+  }
+  out.request_id = request_id;
+  out.outputs = outputs;
+  if (mode_raw == kModeUnset) {
+    out.mode.reset();
+  } else {
+    out.mode = static_cast<core::UncertaintyMode>(mode_raw);
+  }
+  out.rows = rows;
+  out.cols = cols;
+  out.model_key = std::string_view(
+      reinterpret_cast<const char*>(p + kFixed), key_len);
+  out.features = p + kFixed + key_len;
+}
+
+void parse_result_payload(const unsigned char* p, std::uint32_t payload,
+                          std::uint32_t request_id, ResultView& out) {
+  if (payload < 8) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "result payload shorter than its fixed fields");
+  }
+  const auto outputs = get_pod<std::uint32_t>(p);
+  const auto rows = get_pod<std::uint32_t>(p + 4);
+  if (outputs == 0 || (outputs & ~kKnownOutputs) != 0) {
+    throw WireError(ErrorCode::kMaskInvalid, request_id,
+                    "result OutputMask has unknown bits");
+  }
+  if (rows == 0 || rows > kMaxRowsPerRequest) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "implausible result rows " + std::to_string(rows));
+  }
+  const std::uint64_t expected = 8 + result_payload_bytes(outputs, rows);
+  if (expected != payload) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "result payload is " + std::to_string(payload) +
+                        " bytes, mask needs " + std::to_string(expected));
+  }
+  out.request_id = request_id;
+  out.outputs = outputs;
+  out.rows = rows;
+  out.columns = p + 8;
+}
+
+void parse_error_payload(const unsigned char* p, std::uint32_t payload,
+                         std::uint32_t request_id, ErrorView& out) {
+  if (payload < 8) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "error payload shorter than its fixed fields");
+  }
+  const auto code = get_pod<std::uint32_t>(p);
+  const auto detail_len = get_pod<std::uint32_t>(p + 4);
+  if (std::uint64_t{8} + detail_len != payload) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "error payload length mismatch");
+  }
+  out.request_id = request_id;
+  out.code = static_cast<ErrorCode>(code);
+  out.detail = std::string_view(
+      reinterpret_cast<const char*>(p + 8), detail_len);
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadMagic: return "bad-magic";
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kFrameTooLarge: return "frame-too-large";
+    case ErrorCode::kBadFrameType: return "bad-frame-type";
+    case ErrorCode::kBadPayload: return "bad-payload";
+    case ErrorCode::kMaskInvalid: return "mask-invalid";
+    case ErrorCode::kModeInvalid: return "mode-invalid";
+    case ErrorCode::kUnknownModel: return "unknown-model";
+    case ErrorCode::kShapeMismatch: return "shape-mismatch";
+    case ErrorCode::kLoadBadMagic: return "load-bad-magic";
+    case ErrorCode::kLoadBadVersion: return "load-bad-version";
+    case ErrorCode::kLoadChecksum: return "load-checksum";
+    case ErrorCode::kLoadTruncated: return "load-truncated";
+    case ErrorCode::kLoadBadStructure: return "load-bad-structure";
+    case ErrorCode::kLoadIo: return "load-io";
+    case ErrorCode::kLoadMmapFailed: return "load-mmap-failed";
+  }
+  return "unknown";
+}
+
+ErrorCode error_code_for(LoadErrorCode code) {
+  switch (code) {
+    case LoadErrorCode::kBadMagic: return ErrorCode::kLoadBadMagic;
+    case LoadErrorCode::kBadVersion: return ErrorCode::kLoadBadVersion;
+    case LoadErrorCode::kChecksum: return ErrorCode::kLoadChecksum;
+    case LoadErrorCode::kTruncated: return ErrorCode::kLoadTruncated;
+    case LoadErrorCode::kBadStructure: return ErrorCode::kLoadBadStructure;
+    case LoadErrorCode::kIo: return ErrorCode::kLoadIo;
+    case LoadErrorCode::kMmapFailed: return ErrorCode::kLoadMmapFailed;
+  }
+  return ErrorCode::kLoadIo;
+}
+
+bool error_closes_connection(ErrorCode code) {
+  return code == ErrorCode::kBadMagic || code == ErrorCode::kBadVersion ||
+         code == ErrorCode::kFrameTooLarge;
+}
+
+std::size_t parse_frame(const unsigned char* data, std::size_t size,
+                        std::size_t max_payload, Frame& out) {
+  if (size < kHeaderBytes) return 0;
+  // request_id is read before any validation so error frames can echo it
+  // even when the rest of the header is wrong (best effort for version
+  // mismatches; garbage for non-HMDW bytes, where we report id 0).
+  const auto request_id = get_pod<std::uint32_t>(data + 8);
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    throw WireError(ErrorCode::kBadMagic, 0, "not an HMDW frame");
+  }
+  if (data[4] != kProtocolVersion) {
+    throw WireError(ErrorCode::kBadVersion, request_id,
+                    "protocol version " + std::to_string(data[4]) +
+                        " (expected " + std::to_string(kProtocolVersion) +
+                        ")");
+  }
+  const auto payload = get_pod<std::uint32_t>(data + 12);
+  if (payload > max_payload || payload > kMaxPayloadBytes) {
+    throw WireError(ErrorCode::kFrameTooLarge, request_id,
+                    "declared payload " + std::to_string(payload) +
+                        " bytes exceeds the frame cap");
+  }
+  const auto reserved = get_pod<std::uint16_t>(data + 6);
+  const auto type_raw = data[5];
+  if (size < kHeaderBytes + payload) return 0;  // frame not complete yet
+
+  // From here the whole frame is present and its length is trusted —
+  // every error below is survivable (the caller skips this frame).
+  if (reserved != 0) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "reserved header bytes are non-zero");
+  }
+  const unsigned char* p = data + kHeaderBytes;
+  switch (type_raw) {
+    case static_cast<std::uint8_t>(FrameType::kScoreRequest):
+      out.type = FrameType::kScoreRequest;
+      parse_request_payload(p, payload, request_id, out.request);
+      break;
+    case static_cast<std::uint8_t>(FrameType::kScoreResult):
+      out.type = FrameType::kScoreResult;
+      parse_result_payload(p, payload, request_id, out.result);
+      break;
+    case static_cast<std::uint8_t>(FrameType::kError):
+      out.type = FrameType::kError;
+      parse_error_payload(p, payload, request_id, out.error);
+      break;
+    default:
+      throw WireError(ErrorCode::kBadFrameType, request_id,
+                      "unknown frame type " + std::to_string(type_raw));
+  }
+  return kHeaderBytes + payload;
+}
+
+std::size_t result_payload_bytes(api::OutputMask outputs, std::size_t rows) {
+  using namespace api;
+  std::size_t per_row = 0;
+  if (outputs & kOutPrediction) per_row += sizeof(std::int32_t);
+  if (outputs & kOutConfidence) per_row += sizeof(double);
+  if (outputs & kOutVotes) per_row += sizeof(std::int32_t);
+  if (outputs & kOutVoteEntropy) per_row += sizeof(double);
+  if (outputs & kOutSoftEntropy) per_row += sizeof(double);
+  if (outputs & kOutExpectedEntropy) per_row += sizeof(double);
+  if (outputs & kOutMutualInformation) per_row += sizeof(double);
+  if (outputs & kOutVariationRatio) per_row += sizeof(double);
+  if (outputs & kOutMaxProbability) per_row += sizeof(double);
+  if (outputs & kOutScore) per_row += sizeof(double);
+  if (outputs & kOutTrusted) per_row += sizeof(std::uint8_t);
+  return per_row * rows;
+}
+
+void append_request(std::vector<unsigned char>& out, std::uint32_t request_id,
+                    std::string_view model_key, api::OutputMask outputs,
+                    std::optional<core::UncertaintyMode> mode,
+                    const double* features, std::size_t rows,
+                    std::size_t cols) {
+  HMD_REQUIRE(!model_key.empty() && model_key.size() <= kMaxKeyBytes,
+              "append_request: bad model key length");
+  HMD_REQUIRE(rows >= 1 && rows <= kMaxRowsPerRequest && cols >= 1 &&
+                  cols <= kMaxColsPerRequest,
+              "append_request: bad shape");
+  const std::uint64_t feature_bytes =
+      std::uint64_t{rows} * cols * sizeof(double);
+  const std::uint64_t payload = 18 + model_key.size() + feature_bytes;
+  HMD_REQUIRE(payload <= kMaxPayloadBytes, "append_request: frame too large");
+  put_header(out, FrameType::kScoreRequest, request_id,
+             static_cast<std::uint32_t>(payload));
+  put_pod(out, static_cast<std::uint32_t>(outputs));
+  put_pod(out, mode ? static_cast<std::uint32_t>(*mode) : kModeUnset);
+  put_pod(out, static_cast<std::uint32_t>(rows));
+  put_pod(out, static_cast<std::uint32_t>(cols));
+  put_pod(out, static_cast<std::uint16_t>(model_key.size()));
+  put_bytes(out, model_key.data(), model_key.size());
+  put_bytes(out, features, static_cast<std::size_t>(feature_bytes));
+}
+
+void append_result(std::vector<unsigned char>& out, std::uint32_t request_id,
+                   api::OutputMask outputs, const api::ScoreResult& result,
+                   std::size_t row_offset, std::size_t rows) {
+  const std::uint64_t payload = 8 + result_payload_bytes(outputs, rows);
+  put_header(out, FrameType::kScoreResult, request_id,
+             static_cast<std::uint32_t>(payload));
+  put_pod(out, static_cast<std::uint32_t>(outputs));
+  put_pod(out, static_cast<std::uint32_t>(rows));
+  for_each_column(outputs, result, [&](const auto& column) {
+    using Elem = typename std::decay_t<decltype(column)>::value_type;
+    HMD_REQUIRE(row_offset + rows <= column.size(),
+                "append_result: slice outside the result column");
+    put_bytes(out, column.data() + row_offset, rows * sizeof(Elem));
+  });
+}
+
+void append_error(std::vector<unsigned char>& out, std::uint32_t request_id,
+                  ErrorCode code, std::string_view detail) {
+  if (detail.size() > 1024) detail = detail.substr(0, 1024);
+  put_header(out, FrameType::kError, request_id,
+             static_cast<std::uint32_t>(8 + detail.size()));
+  put_pod(out, static_cast<std::uint32_t>(code));
+  put_pod(out, static_cast<std::uint32_t>(detail.size()));
+  put_bytes(out, detail.data(), detail.size());
+}
+
+void unpack_result(const ResultView& view, api::ScoreResult& out) {
+  out.shape(view.outputs, view.rows);
+  out.rows = view.rows;
+  const unsigned char* p = view.columns;
+  for_each_column(view.outputs, out, [&](auto& column) {
+    using Elem = typename std::decay_t<decltype(column)>::value_type;
+    std::memcpy(column.data(), p, view.rows * sizeof(Elem));
+    p += view.rows * sizeof(Elem);
+  });
+}
+
+}  // namespace hmd::serve::wire

@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# End-to-end socket serving smoke test, run by ctest in both the Release
+# and ASan+UBSan CI jobs:
+#
+#   1. hmd_train writes two model families into a registry directory,
+#      plus a replacement RF artifact kept outside it as swap material.
+#   2. hmd_serve hosts them over TCP (--listen on an ephemeral port,
+#      --refresh-ms=200); the port is parsed from its "listening on"
+#      line.
+#   3. hmd_client drives wire-protocol traffic with --verify: every
+#      response must be bit-identical to a direct score() of the same
+#      artifact — for the default detection mask, for the full estimate
+#      mask under an explicit uncertainty mode, and for the second model
+#      key (per-model routing).
+#   4. An unknown model key must come back as typed error frames (client
+#      exits 1), and the connection must survive to serve a valid
+#      request afterwards (the client run itself proves this: errors are
+#      counted, not fatal).
+#   5. The RF artifact is overwritten mid-serve with the replacement
+#      (temp file + rename publish). Within the refresh cadence a
+#      --verify run against the NEW artifact must reach bit-parity —
+#      proof the hot-swap landed and in-flight serving never broke.
+#   6. SIGTERM: the server must drain, print its traffic/batcher/served
+#      summaries, and exit 0.
+#
+# usage: serve_socket_smoke.sh <hmd_train> <hmd_serve> <hmd_client>
+set -euo pipefail
+
+train_bin=$1
+serve_bin=$2
+client_bin=$3
+
+workdir=$(mktemp -d serve_socket_smoke.XXXXXX)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+models="$workdir/models"
+mkdir -p "$models"
+
+common=(--dataset=dvfs --scale=0.1 --threads=1)
+
+"$train_bin" "${common[@]}" --model=rf --members=5 \
+    --out="$models/dvfs_RF_M5.hmdf"
+"$train_bin" "${common[@]}" --model=lr --members=5 \
+    --out="$models/dvfs_LR_M5.hmdf"
+# Swap material: a different model *family* so its scores genuinely
+# differ from the RF's (two RF ensembles can agree bit-for-bit on an
+# easy slice, which would make the post-swap parity check vacuous).
+# Lives outside the registry dir (no .hmdf suffix) so the scan never
+# sees it.
+"$train_bin" "${common[@]}" --model=svm --members=9 \
+    --out="$workdir/replacement.artifact"
+
+"$serve_bin" --models="$models" --threads=1 --listen=127.0.0.1:0 \
+    --refresh-ms=200 >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port=$(grep -oP 'listening on 127\.0\.0\.1:\K[0-9]+' "$workdir/server.log" \
+      || true)
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+[ -n "$port" ] || {
+  echo "FAIL: server never reported its port" >&2
+  cat "$workdir/server.log" >&2
+  exit 1; }
+
+grep -q "serving  2 model(s)" "$workdir/server.log" || {
+  echo "FAIL: expected 2 models from the registry" >&2; exit 1; }
+
+connect=(--connect=127.0.0.1:"$port" "${common[@]}" --rows=4)
+
+# Leg 1: detection mask, concurrent pipelined connections, bit-parity
+# against the artifact being served.
+out=$("$client_bin" "${connect[@]}" --model=dvfs_RF_M5 --requests=200 \
+    --connections=4 --pipeline=2 --verify="$models/dvfs_RF_M5.hmdf")
+echo "$out"
+grep -q "parity   ok" <<<"$out" || {
+  echo "FAIL: detection-mask traffic not bit-identical" >&2; exit 1; }
+
+# Leg 2: full estimate mask under an explicit uncertainty mode.
+out=$("$client_bin" "${connect[@]}" --model=dvfs_RF_M5 --requests=100 \
+    --outputs=estimate --mode=soft_entropy \
+    --verify="$models/dvfs_RF_M5.hmdf")
+echo "$out"
+grep -q "parity   ok" <<<"$out" || {
+  echo "FAIL: estimate-mask traffic not bit-identical" >&2; exit 1; }
+
+# Leg 3: the other model key — per-model routing in the batcher.
+out=$("$client_bin" "${connect[@]}" --model=dvfs_LR_M5 --requests=100 \
+    --connections=2 --verify="$models/dvfs_LR_M5.hmdf")
+echo "$out"
+grep -q "parity   ok" <<<"$out" || {
+  echo "FAIL: second model key not bit-identical" >&2; exit 1; }
+
+# Leg 4: unknown model key -> typed error frames, client exit 1, and the
+# server must keep running (checked right after).
+rc=0
+out=$("$client_bin" "${connect[@]}" --model=nope --requests=5) || rc=$?
+echo "$out"
+[ "$rc" -eq 1 ] || {
+  echo "FAIL: unknown-model traffic must exit 1, got $rc" >&2; exit 1; }
+grep -q "unknown-model" <<<"$out" || {
+  echo "FAIL: expected typed unknown-model error frames" >&2; exit 1; }
+kill -0 "$server_pid" 2>/dev/null || {
+  echo "FAIL: server died on bad traffic" >&2; exit 1; }
+
+# Leg 5: publish the replacement over the RF artifact (temp + rename,
+# the atomic-publish idiom) and require a --verify run against the NEW
+# artifact to reach bit-parity within the 200 ms refresh cadence.
+cp "$workdir/replacement.artifact" "$models/.swap_tmp"
+mv "$models/.swap_tmp" "$models/dvfs_RF_M5.hmdf"
+
+swapped=no
+for _ in $(seq 1 50); do
+  if "$client_bin" "${connect[@]}" --model=dvfs_RF_M5 --requests=50 \
+      --verify="$models/dvfs_RF_M5.hmdf" \
+      >"$workdir/client_swap.log" 2>&1; then
+    swapped=yes
+    break
+  fi
+  sleep 0.2
+done
+cat "$workdir/client_swap.log"
+[ "$swapped" = yes ] || {
+  echo "FAIL: hot-swapped artifact never reached bit-parity" >&2
+  cat "$workdir/server.log" >&2
+  exit 1; }
+reload_seen=no
+for _ in $(seq 1 25); do
+  if grep -q "refresh  reloaded dvfs_RF_M5" "$workdir/server.log"; then
+    reload_seen=yes
+    break
+  fi
+  sleep 0.2
+done
+[ "$reload_seen" = yes ] || {
+  echo "FAIL: refresh() did not report the reload" >&2
+  cat "$workdir/server.log" >&2
+  exit 1; }
+
+# Leg 6: SIGTERM -> drain, summaries, exit 0.
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+cat "$workdir/server.log"
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: SIGTERM shutdown must exit 0, got $rc" >&2; exit 1; }
+grep -q "^traffic  " "$workdir/server.log" || {
+  echo "FAIL: missing traffic summary" >&2; exit 1; }
+grep -q "^batcher  " "$workdir/server.log" || {
+  echo "FAIL: missing batcher summary" >&2; exit 1; }
+grep -q "^served   " "$workdir/server.log" || {
+  echo "FAIL: missing served summary" >&2; exit 1; }
+
+echo "serve_socket_smoke: OK"

@@ -1,0 +1,133 @@
+// The epoll reactor (serve/event_loop.h): dispatch, mask modification,
+// removal safety mid-wave (a dead watch's pending events must be
+// dropped, not dispatched), and timerfd periodic callbacks.
+
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "serve/event_loop.h"
+
+namespace hmd {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int read_end() const { return fds[0]; }
+  int write_end() const { return fds[1]; }
+  void poke() const { EXPECT_EQ(::write(fds[1], "x", 1), 1); }
+};
+
+TEST(EventLoopTest, DispatchesReadableFdWithItsEvents) {
+  serve::EventLoop loop;
+  Pipe pipe;
+  std::uint32_t seen = 0;
+  int calls = 0;
+  loop.add(pipe.read_end(), EPOLLIN, [&](std::uint32_t events) {
+    seen = events;
+    ++calls;
+  });
+  EXPECT_TRUE(loop.watched(pipe.read_end()));
+  EXPECT_EQ(loop.size(), 1u);
+
+  EXPECT_EQ(loop.poll_once(0), 0);  // nothing readable yet
+  pipe.poke();
+  EXPECT_EQ(loop.poll_once(0), 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(seen & EPOLLIN);
+
+  loop.remove(pipe.read_end());
+  EXPECT_FALSE(loop.watched(pipe.read_end()));
+  EXPECT_EQ(loop.size(), 0u);
+}
+
+TEST(EventLoopTest, ModifySwitchesTheEventMask) {
+  serve::EventLoop loop;
+  Pipe pipe;
+  int write_ready = 0;
+  // An empty pipe's write end is immediately writable.
+  loop.add(pipe.write_end(), EPOLLOUT, [&](std::uint32_t) { ++write_ready; });
+  EXPECT_EQ(loop.poll_once(0), 1);
+  EXPECT_EQ(write_ready, 1);
+  // Stop caring about writability: no more dispatches.
+  loop.modify(pipe.write_end(), EPOLLIN);
+  EXPECT_EQ(loop.poll_once(0), 0);
+  EXPECT_EQ(write_ready, 1);
+  loop.remove(pipe.write_end());
+}
+
+TEST(EventLoopTest, RemovalDuringDispatchDropsPendingEvents) {
+  serve::EventLoop loop;
+  Pipe a;
+  Pipe b;
+  int a_calls = 0;
+  int b_calls = 0;
+  // Both fds readable in the same epoll wave; whichever callback runs
+  // first removes the other watch — the removed watch's already-reported
+  // event must be dropped, not dispatched into a dangling callback.
+  loop.add(a.read_end(), EPOLLIN, [&](std::uint32_t) {
+    ++a_calls;
+    loop.remove(b.read_end());
+  });
+  loop.add(b.read_end(), EPOLLIN, [&](std::uint32_t) {
+    ++b_calls;
+    loop.remove(a.read_end());
+  });
+  a.poke();
+  b.poke();
+  loop.poll_once(0);
+  EXPECT_EQ(a_calls + b_calls, 1);  // exactly one ran; the other was dead
+  EXPECT_EQ(loop.size(), 1u);
+}
+
+TEST(EventLoopTest, CallbackMayAddNewWatches) {
+  serve::EventLoop loop;
+  Pipe first;
+  Pipe second;
+  int second_calls = 0;
+  loop.add(first.read_end(), EPOLLIN, [&](std::uint32_t) {
+    char c;
+    EXPECT_EQ(::read(first.read_end(), &c, 1), 1);  // drain (level-triggered)
+    loop.add(second.read_end(), EPOLLIN,
+             [&](std::uint32_t) { ++second_calls; });
+  });
+  first.poke();
+  second.poke();
+  EXPECT_GE(loop.poll_once(0), 1);  // first fires, registers second
+  EXPECT_TRUE(loop.watched(second.read_end()));
+  loop.poll_once(0);  // second's readability surfaces now
+  EXPECT_EQ(second_calls, 1);
+  loop.remove(first.read_end());
+  loop.remove(second.read_end());
+}
+
+TEST(EventLoopTest, TimerFiresRepeatedlyUntilRemoved) {
+  serve::EventLoop loop;
+  int ticks = 0;
+  const int timer_fd = loop.add_timer_ms(5, [&] { ++ticks; });
+  EXPECT_TRUE(loop.watched(timer_fd));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ticks < 3 && std::chrono::steady_clock::now() < deadline) {
+    loop.poll_once(50);
+  }
+  EXPECT_GE(ticks, 3);  // periodic, not one-shot
+
+  loop.remove(timer_fd);  // also closes the loop-owned timer fd
+  EXPECT_FALSE(loop.watched(timer_fd));
+  const int before = ticks;
+  loop.poll_once(20);
+  EXPECT_EQ(ticks, before);
+}
+
+}  // namespace
+}  // namespace hmd

@@ -120,6 +120,46 @@ TEST(Xxhash64Test, MatchesPublishedVectors) {
   EXPECT_NE(io::xxhash64("abc", 3, 1), io::xxhash64("abc", 3, 0));
 }
 
+// The streaming variant is what AlignedWriter hashes sections with as it
+// writes (the in-stream checksum path); its digest must be bit-identical
+// to the one-shot hash for any chunking of the same bytes, or saved
+// checksums would not match what the load-time verifier computes.
+TEST(Xxhash64StreamTest, AnyChunkingMatchesOneShot) {
+  std::vector<unsigned char> bytes(4096 + 31);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;  // cheap deterministic fill
+  for (auto& b : bytes) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<unsigned char>(state >> 56);
+  }
+  for (const std::size_t total : {0ul, 1ul, 31ul, 32ul, 33ul, 63ul, 64ul,
+                                  100ul, 1000ul, bytes.size()}) {
+    const std::uint64_t expected = io::xxhash64(bytes.data(), total);
+    for (const std::size_t chunk : {1ul, 3ul, 7ul, 32ul, 33ul, 64ul, 997ul}) {
+      io::Xxhash64Stream stream;
+      for (std::size_t at = 0; at < total; at += chunk) {
+        stream.update(bytes.data() + at, std::min(chunk, total - at));
+      }
+      EXPECT_EQ(stream.digest(), expected)
+          << "total=" << total << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(Xxhash64StreamTest, SeedAndResetBehaveLikeOneShot) {
+  const char* text = "stream me";
+  io::Xxhash64Stream seeded(42);
+  seeded.update(text, 9);
+  EXPECT_EQ(seeded.digest(), io::xxhash64(text, 9, 42));
+  // digest() is non-destructive: more updates keep accumulating.
+  seeded.update(text, 9);
+  io::Xxhash64Stream twice(42);
+  twice.update(text, 9);
+  twice.update(text, 9);
+  EXPECT_EQ(seeded.digest(), twice.digest());
+  seeded.reset(42);
+  EXPECT_EQ(seeded.digest(), io::xxhash64(nullptr, 0, 42));
+}
+
 // ---------------------------------------------------------------------------
 // inspect_model: the section table the fuzz sweep (and hmd_faultgen)
 // steers by.

@@ -1,0 +1,236 @@
+// hmd_client — reference client and load generator for the HMDW socket
+// front-end (hmd_serve --listen, serve/wire.h).
+//
+// Connects N concurrent connections to a running server and drives
+// scoring traffic built from the same dataset bundles the benches use,
+// either closed-loop (--pipeline outstanding requests per connection,
+// the default) or open-loop (--rate total requests/second across all
+// connections). Per-request latency is sampled client-side and reported
+// as p50/p90/p99/p99.9.
+//
+// --verify=ARTIFACT turns the run into a bit-parity check: the artifact
+// is loaded locally, the whole source matrix is scored directly through
+// score() under the same outputs/mode, and every response byte is
+// compared against the matching row slice. Any mismatch — or any error
+// frame — fails the run. This is the over-the-wire half of the serving
+// contract in serve/wire.h: framing, batching, coalescing, and
+// scatter-gather must be invisible in the bytes.
+//
+// Exit codes: 0 success, 1 parity mismatch / error frames / transport
+// failure, 2 usage, 3 cannot load the --verify artifact.
+//
+// usage: hmd_client --connect=HOST:PORT --model=KEY [--dataset=dvfs|hpc]
+//                   [--scale=F] [--threads=N] [--requests=N] [--rows=N]
+//                   [--connections=N] [--pipeline=N] [--rate=RPS]
+//                   [--outputs=prediction|detect|estimate] [--mode=NAME]
+//                   [--verify=ARTIFACT]
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "api/score.h"
+#include "bench_common.h"
+#include "common/error.h"
+#include "core/hmd.h"
+#include "core/model_artifact.h"
+#include "core/uncertainty.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+using namespace hmd;
+
+[[noreturn]] void usage_error(const std::string& flag) {
+  std::fprintf(
+      stderr,
+      "hmd_client: bad argument '%s'\n"
+      "usage: hmd_client --connect=HOST:PORT --model=KEY "
+      "[--dataset=dvfs|hpc] [--scale=F] [--threads=N] [--requests=N] "
+      "[--rows=N] [--connections=N] [--pipeline=N] [--rate=RPS] "
+      "[--outputs=prediction|detect|estimate] [--mode=NAME] "
+      "[--verify=ARTIFACT]\n",
+      flag.c_str());
+  std::exit(2);
+}
+
+struct ClientArgs {
+  std::string connect;
+  std::string model_key;
+  std::string dataset = "dvfs";
+  std::string verify_artifact;
+  api::OutputMask outputs = api::kDetectionOutputs;
+  std::string outputs_name = "detect";
+  std::optional<core::UncertaintyMode> mode;
+  std::uint64_t requests = 1000;
+  std::size_t rows = 8;
+  int connections = 1;
+  int pipeline = 1;
+  double rate = 0.0;
+  bench::BenchOptions options;
+};
+
+std::optional<core::UncertaintyMode> parse_mode(const std::string& name) {
+  for (int m = 0; m <= static_cast<int>(core::UncertaintyMode::kMaxProbability);
+       ++m) {
+    const auto mode = static_cast<core::UncertaintyMode>(m);
+    if (name == core::uncertainty_mode_name(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+ClientArgs parse_args(int argc, char** argv) {
+  ClientArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--connect=", 0) == 0) {
+      args.connect = value_of("--connect=");
+      if (args.connect.find(':') == std::string::npos) usage_error(arg);
+    } else if (arg.rfind("--model=", 0) == 0) {
+      args.model_key = value_of("--model=");
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      args.dataset = value_of("--dataset=");
+      if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      args.options.scale = std::atof(value_of("--scale=").c_str());
+      if (args.options.scale <= 0.0 || args.options.scale > 16.0)
+        usage_error(arg);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.options.n_threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      const long long n = std::atoll(value_of("--requests=").c_str());
+      if (n < 1) usage_error(arg);
+      args.requests = static_cast<std::uint64_t>(n);
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      const int n = std::atoi(value_of("--rows=").c_str());
+      if (n < 1) usage_error(arg);
+      args.rows = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      args.connections = std::atoi(value_of("--connections=").c_str());
+      if (args.connections < 1) usage_error(arg);
+    } else if (arg.rfind("--pipeline=", 0) == 0) {
+      args.pipeline = std::atoi(value_of("--pipeline=").c_str());
+      if (args.pipeline < 1) usage_error(arg);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      args.rate = std::atof(value_of("--rate=").c_str());
+      if (args.rate < 0.0) usage_error(arg);
+    } else if (arg.rfind("--outputs=", 0) == 0) {
+      args.outputs_name = value_of("--outputs=");
+      if (args.outputs_name == "prediction") {
+        args.outputs = api::kPredictionOnly | api::kOutTrusted;
+      } else if (args.outputs_name == "detect") {
+        args.outputs = api::kDetectionOutputs;
+      } else if (args.outputs_name == "estimate") {
+        args.outputs = api::kEstimateOutputs;
+      } else {
+        usage_error(arg);
+      }
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      args.mode = parse_mode(value_of("--mode="));
+      if (!args.mode) usage_error(arg);
+    } else if (arg.rfind("--verify=", 0) == 0) {
+      args.verify_artifact = value_of("--verify=");
+    } else {
+      usage_error(arg);
+    }
+  }
+  if (args.connect.empty()) usage_error("<missing --connect=HOST:PORT>");
+  if (args.model_key.empty()) usage_error("<missing --model=KEY>");
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ClientArgs args = parse_args(argc, argv);
+
+  serve::LoadGenOptions options;
+  const auto colon = args.connect.rfind(':');
+  options.host = args.connect.substr(0, colon);
+  const int port = std::atoi(args.connect.substr(colon + 1).c_str());
+  if (options.host.empty() || port < 1 || port > 65535) {
+    usage_error("--connect=" + args.connect);
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  options.model_key = args.model_key;
+  options.outputs = args.outputs;
+  options.mode = args.mode;
+  options.rows_per_request = args.rows;
+  options.connections = args.connections;
+  options.pipeline = args.pipeline;
+  options.open_loop_rps = args.rate;
+  options.total_requests = args.requests;
+
+  const data::DatasetBundle bundle = args.dataset == "dvfs"
+                                         ? bench::dvfs_bundle(args.options)
+                                         : bench::hpc_bundle(args.options);
+  options.source = &bundle.test.X;
+
+  // Bit-parity oracle: direct score() of the whole source under the same
+  // outputs/mode, computed single-threaded so the run is deterministic.
+  api::ScoreResult expected;
+  std::optional<core::TrustedHmd> oracle;
+  if (!args.verify_artifact.empty()) {
+    try {
+      oracle.emplace(core::load_model(args.verify_artifact, /*n_threads=*/1));
+    } catch (const LoadError& error) {
+      std::fprintf(stderr, "hmd_client: cannot load %s: [%s] %s\n",
+                   args.verify_artifact.c_str(),
+                   load_error_code_name(error.code()),
+                   error.detail().c_str());
+      return 3;
+    }
+    api::ScoreRequest request;
+    request.x = &bundle.test.X;
+    request.outputs = args.outputs;
+    request.mode = args.mode;
+    oracle->score(request, expected);
+    options.expected = &expected;
+  }
+
+  std::printf("client   %s:%u model=%s outputs=%s rows/req=%zu conns=%d %s\n",
+              options.host.c_str(), options.port, args.model_key.c_str(),
+              args.outputs_name.c_str(), args.rows, args.connections,
+              args.rate > 0.0
+                  ? ("open-loop " + std::to_string(args.rate) + " rps").c_str()
+                  : ("closed-loop pipeline=" + std::to_string(args.pipeline))
+                        .c_str());
+  std::fflush(stdout);
+
+  serve::LoadGenReport report;
+  try {
+    report = serve::run_load(options);
+  } catch (const HmdError& error) {
+    std::fprintf(stderr, "hmd_client: transport failure: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("traffic  %llu request(s) sent, %llu result(s), %llu error "
+              "frame(s), %llu row(s) in %.3f s\n",
+              static_cast<unsigned long long>(report.requests_sent),
+              static_cast<unsigned long long>(report.results_ok),
+              static_cast<unsigned long long>(report.wire_errors),
+              static_cast<unsigned long long>(report.rows), report.seconds);
+  std::printf("rate     %.0f req/s, %.0f rows/s\n", report.requests_per_sec,
+              report.rows_per_sec);
+  std::printf("latency  p50 %.1f us, p90 %.1f us, p99 %.1f us, p99.9 %.1f "
+              "us, max %.1f us, mean %.1f us\n",
+              report.p50_us, report.p90_us, report.p99_us, report.p999_us,
+              report.max_us, report.mean_us);
+  if (!report.last_error.empty()) {
+    std::printf("error    last error frame: %s\n", report.last_error.c_str());
+  }
+  if (!args.verify_artifact.empty()) {
+    std::printf("parity   %s\n",
+                report.parity_ok ? "ok (bit-identical to direct score())"
+                                 : report.parity_detail.c_str());
+  }
+
+  const bool failed = report.wire_errors > 0 || !report.parity_ok ||
+                      report.results_ok < report.requests_sent;
+  return failed ? 1 : 0;
+}

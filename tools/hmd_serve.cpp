@@ -3,13 +3,31 @@
 //
 // A DetectorRegistry (api/detector_registry.h) maps model keys to `.hmdf`
 // artifacts: --models=DIR registers every artifact in a directory (keyed
-// by stem) and positional paths register individual files. Each serving
-// round scores one batch per model through the unified score() spine
-// (api/score.h) with the mask picked by --outputs, reusing one ScoreResult
-// per model so the steady-state loop allocates nothing. Every
-// --refresh-every rounds the registry re-stats the artifacts and hot-swaps
-// any that changed on disk — retrained models are picked up without a
-// restart, and snapshots held by in-flight batches stay valid.
+// by stem) and positional paths register individual files.
+//
+// Two serving modes:
+//
+//  - `--listen=HOST:PORT` starts the socket front-end (serve/server.h):
+//    an epoll event loop speaking the HMDW wire protocol (serve/wire.h),
+//    coalescing client requests through the adaptive micro-batcher
+//    (serve/batcher.h; sized by --batch-rows / --batch-delay-us) into the
+//    score() spine. Clients pick their own OutputMask and uncertainty
+//    mode per request (tools/hmd_client is the reference client and load
+//    generator). The server runs until SIGINT/SIGTERM, then drains and
+//    prints traffic + batcher + health summaries.
+//
+//  - Without --listen, the legacy closed-loop driver: each round scores
+//    one dataset batch per model with the mask picked by --outputs,
+//    reusing one ScoreResult per model so the steady-state loop
+//    allocates nothing.
+//
+// In both modes the registry re-stats artifacts on a wall-clock cadence —
+// --refresh-ms, a timerfd inside the event loop when listening — and
+// hot-swaps any that changed on disk: retrained models are picked up
+// without a restart, hot-swap latency independent of traffic, and
+// snapshots held by in-flight batches stay valid. --refresh-every=N (the
+// old per-round counter) is kept as an alias mapping to roughly the same
+// wall-clock cadence: N * max(--sleep-ms, 1) milliseconds.
 //
 // --swap-with=PATH is a built-in hot-swap self-check: halfway through the
 // run the first model's artifact is replaced with PATH's bytes — published
@@ -34,11 +52,14 @@
 // servable / fatal load error. HMD_FAILPOINTS (common/failpoint.h) is
 // honoured for fault-injection drills.
 //
-// usage: hmd_serve [--models=DIR] [model.hmdf ...] [--dataset=dvfs|hpc]
-//                  [--batches=N] [--threads=N] [--scale=F]
-//                  [--model=rf|lr|svm] [--outputs=prediction|detect|estimate]
-//                  [--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]]
-//                  [--sleep-ms=N]
+// usage: hmd_serve [--models=DIR] [model.hmdf ...] [--listen=HOST:PORT]
+//                  [--dataset=dvfs|hpc] [--batches=N] [--threads=N]
+//                  [--scale=F] [--model=rf|lr|svm]
+//                  [--outputs=prediction|detect|estimate] [--refresh-ms=N]
+//                  [--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N]
+//                  [--swap-with=PATH] [--mmap[=on|off]] [--sleep-ms=N]
+
+#include <csignal>
 
 #include <algorithm>
 #include <chrono>
@@ -58,6 +79,7 @@
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "core/hmd.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -69,10 +91,11 @@ using clock_type = std::chrono::steady_clock;
       stderr,
       "hmd_serve: bad argument '%s'\n"
       "usage: hmd_serve [--models=DIR] [model.hmdf ...] "
-      "[--dataset=dvfs|hpc] [--batches=N] [--threads=N] [--scale=F] "
-      "[--model=rf|lr|svm] [--outputs=prediction|detect|estimate] "
-      "[--refresh-every=N] [--swap-with=PATH] [--mmap[=on|off]] "
-      "[--sleep-ms=N]\n",
+      "[--listen=HOST:PORT] [--dataset=dvfs|hpc] [--batches=N] "
+      "[--threads=N] [--scale=F] [--model=rf|lr|svm] "
+      "[--outputs=prediction|detect|estimate] [--refresh-ms=N] "
+      "[--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N] "
+      "[--swap-with=PATH] [--mmap[=on|off]] [--sleep-ms=N]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -80,16 +103,30 @@ using clock_type = std::chrono::steady_clock;
 struct ServeArgs {
   std::string models_dir;
   std::vector<std::string> artifacts;
+  std::string listen;  ///< HOST:PORT; empty = legacy closed-loop driver
   std::string dataset = "dvfs";
   int batches = 200;
-  int refresh_every = 16;
+  int refresh_ms = -1;     ///< wall-clock refresh cadence; -1 = default
+  int refresh_every = -1;  ///< legacy alias (rounds); -1 = not given
   int sleep_ms = 0;  ///< pacing between rounds (chaos drills need wall time)
+  std::size_t batch_rows = 256;
+  int batch_delay_us = 200;
   std::string swap_with;
   std::optional<core::ModelKind> model_filter;
   api::OutputMask outputs = api::kDetectionOutputs;
   std::string outputs_name = "detect";
   core::LoadMode load_mode = core::LoadMode::kAuto;
   bench::BenchOptions options;
+
+  /// The effective wall-clock cadence: --refresh-ms wins; the legacy
+  /// --refresh-every=N alias maps to its old real-time behaviour under
+  /// --sleep-ms pacing (N rounds ~= N * sleep_ms of wall time, at least
+  /// 1 ms so refresh still happens in unpaced runs).
+  int effective_refresh_ms() const {
+    if (refresh_ms >= 0) return refresh_ms;
+    if (refresh_every >= 0) return refresh_every * std::max(sleep_ms, 1);
+    return listen.empty() ? 16 * std::max(sleep_ms, 1) : 1000;
+  }
 };
 
 ServeArgs parse_args(int argc, char** argv) {
@@ -127,9 +164,22 @@ ServeArgs parse_args(int argc, char** argv) {
       } else {
         usage_error(arg);
       }
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      args.listen = value_of("--listen=");
+      if (args.listen.find(':') == std::string::npos) usage_error(arg);
+    } else if (arg.rfind("--refresh-ms=", 0) == 0) {
+      args.refresh_ms = std::atoi(value_of("--refresh-ms=").c_str());
+      if (args.refresh_ms < 0) usage_error(arg);
     } else if (arg.rfind("--refresh-every=", 0) == 0) {
       args.refresh_every = std::atoi(value_of("--refresh-every=").c_str());
       if (args.refresh_every < 1) usage_error(arg);
+    } else if (arg.rfind("--batch-rows=", 0) == 0) {
+      const int rows = std::atoi(value_of("--batch-rows=").c_str());
+      if (rows < 1) usage_error(arg);
+      args.batch_rows = static_cast<std::size_t>(rows);
+    } else if (arg.rfind("--batch-delay-us=", 0) == 0) {
+      args.batch_delay_us = std::atoi(value_of("--batch-delay-us=").c_str());
+      if (args.batch_delay_us < 0) usage_error(arg);
     } else if (arg.rfind("--sleep-ms=", 0) == 0) {
       args.sleep_ms = std::atoi(value_of("--sleep-ms=").c_str());
       if (args.sleep_ms < 0) usage_error(arg);
@@ -209,6 +259,96 @@ void report_health_changes(const api::DetectorRegistry& registry,
   }
 }
 
+serve::ScoreServer* g_server = nullptr;
+
+void on_stop_signal(int) {
+  // Async-signal-safe: request_stop is an atomic store + eventfd write.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+/// `--listen` mode: host the socket front-end until SIGINT/SIGTERM.
+int run_listen(const ServeArgs& args, api::DetectorRegistry& registry,
+               std::size_t n_models, const char* load_mode_name) {
+  const auto colon = args.listen.rfind(':');
+  serve::ServerOptions options;
+  options.host = args.listen.substr(0, colon);
+  const int port = std::atoi(args.listen.substr(colon + 1).c_str());
+  if (options.host.empty() || port < 0 || port > 65535) {
+    usage_error("--listen=" + args.listen);
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  options.batcher.max_batch_rows = args.batch_rows;
+  options.batcher.max_delay_us = args.batch_delay_us;
+  options.refresh_ms = args.effective_refresh_ms();
+
+  serve::ScoreServer server(registry, options);
+  std::map<std::string, api::HealthState> health_seen;
+  report_health_changes(registry, health_seen);
+  server.set_refresh_hook(
+      [&registry, &health_seen](const std::vector<std::string>& reloaded) {
+        for (const std::string& key : reloaded) {
+          std::printf("refresh  reloaded %s\n", key.c_str());
+        }
+        report_health_changes(registry, health_seen);
+        std::fflush(stdout);
+      });
+
+  std::printf("serving  %zu model(s), load=%s, refresh every %d ms, "
+              "batch<=%zu rows, delay<=%d us\n",
+              n_models, load_mode_name, options.refresh_ms, args.batch_rows,
+              args.batch_delay_us);
+  std::printf("listening on %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);  // clients parse the port from this line
+
+  g_server = &server;
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  const auto start = clock_type::now();
+  server.run();
+  const double seconds =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+
+  const serve::ServerStats& stats = server.stats();
+  const serve::BatcherStats& batcher = server.batcher_stats();
+  std::printf("traffic  %llu request(s) -> %llu result(s), %llu error "
+              "frame(s), %llu connection(s)\n",
+              static_cast<unsigned long long>(stats.requests_in),
+              static_cast<unsigned long long>(stats.results_out),
+              static_cast<unsigned long long>(stats.errors_out),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  const double mean_rows =
+      batcher.batches > 0 ? static_cast<double>(batcher.rows) /
+                                static_cast<double>(batcher.batches)
+                          : 0.0;
+  std::printf("batcher  %llu row(s) in %llu batch(es), mean %.1f max %llu "
+              "rows/batch (flush: rows-cap %llu, deadline %llu, idle "
+              "%llu)\n",
+              static_cast<unsigned long long>(batcher.rows),
+              static_cast<unsigned long long>(batcher.batches), mean_rows,
+              static_cast<unsigned long long>(batcher.max_batch_rows_seen),
+              static_cast<unsigned long long>(batcher.flushed_rows_cap),
+              static_cast<unsigned long long>(batcher.flushed_deadline),
+              static_cast<unsigned long long>(batcher.flushed_idle));
+  std::printf("served   %llu row(s) in %.3f s, %llu refresh(es), %llu "
+              "hot-swap reload(s)\n",
+              static_cast<unsigned long long>(batcher.rows), seconds,
+              static_cast<unsigned long long>(stats.refreshes),
+              static_cast<unsigned long long>(stats.models_reloaded));
+  for (const api::ModelHealth& entry : registry.health()) {
+    std::printf(
+        "health   %-24s %s, loads ok=%llu failed=%llu retried=%llu\n",
+        entry.key.c_str(), api::health_state_name(entry.state),
+        static_cast<unsigned long long>(entry.loads_ok),
+        static_cast<unsigned long long>(entry.loads_failed),
+        static_cast<unsigned long long>(entry.retries));
+  }
+  return 0;
+}
+
 int run(const ServeArgs& args) {
   api::DetectorRegistry registry(args.options.n_threads, args.load_mode);
   if (!args.models_dir.empty()) {
@@ -261,9 +401,13 @@ int run(const ServeArgs& args) {
                           : args.load_mode == core::LoadMode::kStream
                               ? "stream"
                               : "auto";
+  if (!args.listen.empty()) {
+    return run_listen(args, registry, served.size(), mode_name);
+  }
   std::printf(
-      "serving  %zu model(s), outputs=%s, load=%s, refresh every %d rounds\n",
-      served.size(), args.outputs_name.c_str(), mode_name, args.refresh_every);
+      "serving  %zu model(s), outputs=%s, load=%s, refresh every %d ms\n",
+      served.size(), args.outputs_name.c_str(), mode_name,
+      args.effective_refresh_ms());
 
   const data::DatasetBundle bundle = args.dataset == "dvfs"
                                          ? bench::dvfs_bundle(args.options)
@@ -278,7 +422,10 @@ int run(const ServeArgs& args) {
   // Baseline; logs any degradation already incurred by startup loads.
   report_health_changes(registry, health_seen);
 
+  const auto refresh_interval =
+      std::chrono::milliseconds(args.effective_refresh_ms());
   const auto start = clock_type::now();
+  auto last_refresh = start;
   for (int round = 0; round < args.batches; ++round) {
     if (args.sleep_ms > 0 && round > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(args.sleep_ms));
@@ -306,11 +453,14 @@ int run(const ServeArgs& args) {
         return 1;
       }
       swap_verified = true;
+      last_refresh = clock_type::now();
       report_health_changes(registry, health_seen);
-    } else if (round > 0 && round % args.refresh_every == 0) {
+    } else if (refresh_interval.count() > 0 &&
+               clock_type::now() - last_refresh >= refresh_interval) {
       for (const std::string& key : registry.refresh()) {
         std::printf("refresh  reloaded %s\n", key.c_str());
       }
+      last_refresh = clock_type::now();
       report_health_changes(registry, health_seen);
     }
 
