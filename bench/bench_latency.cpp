@@ -33,6 +33,7 @@
 #include "datasets/io.h"
 #include "features/dvfs_features.h"
 #include "features/hpc_features.h"
+#include "jit/jit.h"
 #include "sim/app_profiles.h"
 #include "sim/soc.h"
 
@@ -689,6 +690,169 @@ ArtifactChecksumTiming measure_artifact_checksum() {
   return timing;
 }
 
+/// Tree-to-native JIT vs the interpreted arena, per artifact scale. Each
+/// row trains an RF, publishes it as a .hmdf, loads it twice from the
+/// same bytes — policy off (interpreted arena kernels) and policy on
+/// (native code compiled at load) — and gates everything on bit-identical
+/// outputs across the full Detection and Estimate column sets over the
+/// serving-scale batch. A row whose parity check fails is REFUSED: it is
+/// reported on stderr and counted, but never written to the JSON (a fast
+/// wrong kernel must not enter the perf trajectory as a win).
+struct JitSeriesRow {
+  std::string label;
+  std::size_t n_train = 0;
+  int members = 0;
+  std::size_t nodes = 0;
+  std::size_t stumps = 0;
+  std::size_t batch_rows = 0;
+  std::size_t code_bytes = 0;
+  double compile_ms = 0.0;
+  /// Cold-start yardstick the compile cost is judged against: mmap load
+  /// of the same artifact plus its first interpreted detect_batch.
+  double arena_load_first_batch_ms = 0.0;
+  double arena_batch = 0.0;         ///< detect_batch items/sec, arena
+  double jit_batch = 0.0;           ///< detect_batch items/sec, native
+  double arena_estimate_mask = 0.0; ///< score(kEstimateOutputs) items/sec
+  double jit_estimate_mask = 0.0;
+  bool parity_ok = false;
+};
+
+bool bitwise_equal_outputs(const core::TrustedHmd& a,
+                           const core::TrustedHmd& b, const Matrix& x) {
+  const auto detect_a = a.detect_batch(x);
+  const auto detect_b = b.detect_batch(x);
+  const auto estimate_a = a.estimate_batch(x);
+  const auto estimate_b = b.estimate_batch(x);
+  if (detect_a.size() != detect_b.size() ||
+      estimate_a.size() != estimate_b.size()) {
+    return false;
+  }
+  for (std::size_t r = 0; r < detect_a.size(); ++r) {
+    if (detect_a[r].prediction != detect_b[r].prediction ||
+        detect_a[r].confidence != detect_b[r].confidence ||
+        detect_a[r].score != detect_b[r].score ||
+        detect_a[r].trusted != detect_b[r].trusted) {
+      return false;
+    }
+  }
+  for (std::size_t r = 0; r < estimate_a.size(); ++r) {
+    const core::Estimate& ea = estimate_a[r];
+    const core::Estimate& eb = estimate_b[r];
+    if (ea.prediction != eb.prediction ||
+        ea.votes_malware != eb.votes_malware ||
+        ea.vote_entropy != eb.vote_entropy ||
+        ea.soft_entropy != eb.soft_entropy ||
+        ea.expected_entropy != eb.expected_entropy ||
+        ea.mutual_information != eb.mutual_information ||
+        ea.variation_ratio != eb.variation_ratio ||
+        ea.max_probability != eb.max_probability || ea.score != eb.score ||
+        ea.trusted != eb.trusted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+JitSeriesRow measure_jit(const std::string& label,
+                         const core::TrustedHmd& trained,
+                         const Matrix& batch, std::size_t n_train) {
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/latency_jit_probe.hmdf";
+  core::save_model(trained, path);
+  const auto ms_per_call = [](auto&& call) {
+    return 1e3 / items_per_sec(1, call, /*min_seconds=*/0.2);
+  };
+
+  JitSeriesRow row;
+  row.label = label;
+  row.n_train = n_train;
+  row.members = static_cast<int>(trained.engine().n_members());
+  row.batch_rows = batch.rows();
+
+  const jit::Policy saved = jit::policy();
+  jit::set_policy(jit::Policy::kOff);
+  const core::TrustedHmd arena =
+      core::load_model(path, 1, core::LoadMode::kMmap);
+  row.arena_load_first_batch_ms = ms_per_call([&] {
+    const core::TrustedHmd served =
+        core::load_model(path, 1, core::LoadMode::kMmap);
+    benchmark::DoNotOptimize(served.detect_batch(batch));
+  });
+  jit::set_policy(jit::Policy::kOn);
+  const core::TrustedHmd jitted =
+      core::load_model(path, 1, core::LoadMode::kMmap);
+  jit::set_policy(saved);
+  std::filesystem::remove(path);
+
+  row.nodes = jitted.flat_forest().n_nodes();
+  row.stumps = jitted.flat_forest().n_stumps();
+  row.code_bytes = jitted.flat_forest().jit_code_bytes();
+  row.compile_ms = jitted.flat_forest().jit_compile_ms();
+
+  // The gate comes first: no parity, no timings worth having.
+  row.parity_ok = bitwise_equal_outputs(arena, jitted, batch);
+  if (!row.parity_ok) return row;
+
+  row.arena_batch = items_per_sec(
+      batch.rows(), [&] { benchmark::DoNotOptimize(arena.detect_batch(batch)); });
+  row.jit_batch = items_per_sec(
+      batch.rows(), [&] { benchmark::DoNotOptimize(jitted.detect_batch(batch)); });
+  const auto masked = [&](const core::TrustedHmd& hmd) {
+    api::ScoreRequest request;
+    request.x = &batch;
+    request.outputs = api::kEstimateOutputs;
+    api::ScoreResult result;
+    hmd.score(request, result);
+    return items_per_sec(batch.rows(), [&] {
+      hmd.score(request, result);
+      benchmark::DoNotOptimize(result.prediction.data());
+    });
+  };
+  row.arena_estimate_mask = masked(arena);
+  row.jit_estimate_mask = masked(jitted);
+  return row;
+}
+
+/// A fixed-size serving batch (rows cycled from `x`): both series rows
+/// are judged against the same 4096-row batch a socket server's batcher
+/// would hand the engine, independent of the training-set size.
+Matrix serving_batch(const Matrix& x, std::size_t rows) {
+  Matrix batch(rows, x.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      batch(r, c) = x(r % x.rows(), c);
+    }
+  }
+  return batch;
+}
+
+std::vector<JitSeriesRow> measure_jit_series() {
+  constexpr std::size_t kServingRows = 4096;
+  std::vector<JitSeriesRow> rows;
+  if (!jit::available()) return rows;
+  {
+    // Mid-size serving artifact: the scale where compile time must pay
+    // for itself inside one arena cold start.
+    data::HpcDatasetConfig config;
+    config.n_train = 1000;
+    config.n_test = 16;
+    config.n_unknown = 16;
+    const data::DatasetBundle hpc1k = data::build_hpc_dataset(config);
+    core::TrustedHmd trained(config_for(100));
+    trained.fit(hpc1k.train);
+    rows.push_back(measure_jit("hpc_rf_1k", trained,
+                               serving_batch(hpc1k.train.X, kServingRows),
+                               config.n_train));
+  }
+  // The deep megabyte-scale forest shared with the artifact rows.
+  const BigForest& forest = big_forest();
+  rows.push_back(measure_jit("hpc_rf_8k", forest.hmd,
+                             serving_batch(forest.bundle.train.X,
+                                           kServingRows),
+                             8000));
+  return rows;
+}
+
 struct CacheTiming {
   double csv_save_ms = 0.0;
   double csv_load_ms = 0.0;
@@ -732,6 +896,7 @@ void write_summary_json(const char* path) {
   const ArtifactTiming artifact = measure_artifact(100);
   const ArtifactMmapTiming mmap = measure_artifact_mmap();
   const ArtifactChecksumTiming checksum = measure_artifact_checksum();
+  const std::vector<JitSeriesRow> jit_rows = measure_jit_series();
 
   const std::string probe_dir = "bench_results";
   std::filesystem::create_directories(probe_dir);
@@ -748,7 +913,7 @@ void write_summary_json(const char* path) {
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_latency\",\n");
-  std::fprintf(out, "  \"schema_version\": 5,\n");
+  std::fprintf(out, "  \"schema_version\": 6,\n");
   std::fprintf(out, "  \"n_train\": %zu,\n  \"n_test\": %zu,\n",
                bundle().train.size(), bundle().test.size());
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
@@ -882,6 +1047,68 @@ void write_summary_json(const char* path) {
                checksum.walk_load_ms / checksum.checksum_load_ms,
                100.0 * (checksum.checksum_save_ms - checksum.plain_save_ms) /
                    checksum.plain_save_ms);
+  // Schema v6: the tree-to-native JIT series. Entries are parity-gated —
+  // a row whose native kernels were not bit-identical to the interpreted
+  // arena is refused (counted in "refused", reported on stderr) rather
+  // than recorded as a speedup.
+  std::size_t jit_refused = 0;
+  std::vector<const JitSeriesRow*> jit_accepted;
+  for (const JitSeriesRow& row : jit_rows) {
+    if (row.parity_ok) {
+      jit_accepted.push_back(&row);
+    } else {
+      ++jit_refused;
+      std::fprintf(stderr,
+                   "[bench_latency] jit %s M=%d: PARITY FAILURE vs arena "
+                   "— entry refused, not written to the summary\n",
+                   row.label.c_str(), row.members);
+    }
+  }
+  std::fprintf(out, "  \"jit\": {\"available\": %s, \"refused\": %zu, "
+               "\"series\": [\n",
+               jit::available() ? "true" : "false", jit_refused);
+  for (std::size_t i = 0; i < jit_accepted.size(); ++i) {
+    const JitSeriesRow& row = *jit_accepted[i];
+    std::fprintf(
+        out,
+        "    {\"label\": \"%s\", \"n_train\": %zu, \"members\": %d, "
+        "\"nodes\": %zu, \"stumps\": %zu, \"batch_rows\": %zu,\n     "
+        "\"code_bytes\": %zu, \"compile_ms\": %.3f, "
+        "\"arena_load_first_batch_ms\": %.3f,\n     "
+        "\"detect_batch_arena\": %.1f, \"detect_batch_jit\": %.1f, "
+        "\"estimate_score_arena\": %.1f, \"estimate_score_jit\": %.1f,\n"
+        "     \"speedup_batch_jit_vs_arena\": %.2f, "
+        "\"speedup_estimate_jit_vs_arena\": %.2f, "
+        "\"compile_fits_arena_cold_start\": %s, \"parity_ok\": true}%s\n",
+        row.label.c_str(), row.n_train, row.members, row.nodes, row.stumps,
+        row.batch_rows, row.code_bytes, row.compile_ms,
+        row.arena_load_first_batch_ms, row.arena_batch, row.jit_batch,
+        row.arena_estimate_mask, row.jit_estimate_mask,
+        row.jit_batch / row.arena_batch,
+        row.jit_estimate_mask / row.arena_estimate_mask,
+        row.compile_ms < row.arena_load_first_batch_ms ? "true" : "false",
+        i + 1 < jit_accepted.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
+  if (!jit::available()) {
+    std::fprintf(stderr,
+                 "[bench_latency] jit: backend unavailable on this target "
+                 "(interpreted arena only)\n");
+  }
+  for (const JitSeriesRow* row : jit_accepted) {
+    // The one-line jit-vs-arena verdict per artifact scale.
+    std::fprintf(stderr,
+                 "[bench_latency] jit %s M=%d (%zu nodes): batch %.2fx vs "
+                 "arena (%.0f -> %.0f items/sec), estimate mask %.2fx; "
+                 "compile %.1f ms vs arena load+first-batch %.1f ms, "
+                 "code %.1f KiB\n",
+                 row->label.c_str(), row->members, row->nodes,
+                 row->jit_batch / row->arena_batch, row->arena_batch,
+                 row->jit_batch,
+                 row->jit_estimate_mask / row->arena_estimate_mask,
+                 row->compile_ms, row->arena_load_first_batch_ms,
+                 static_cast<double>(row->code_bytes) / 1024.0);
+  }
   std::fprintf(out,
                "  \"bundle_cache_ms\": {\"csv_save\": %.3f, \"csv_load\": "
                "%.3f, \"binary_save\": %.3f, \"binary_load\": %.3f, "

@@ -298,6 +298,9 @@ ModelHealth DetectorRegistry::health_of(const std::string& key,
   out.consecutive_failures = entry.consecutive_failures;
   out.last_error_code = entry.last_error_code;
   out.last_error = entry.last_error;
+  if (entry.detector != nullptr) {
+    out.kernel_backend = entry.detector->engine().kernel_backend();
+  }
   return out;
 }
 

@@ -146,6 +146,10 @@ struct ModelHealth {
   /// loads_failed > 0 (last_error empty otherwise).
   LoadErrorCode last_error_code = LoadErrorCode::kIo;
   std::string last_error;
+  /// The served snapshot's batch-kernel backend ("jit" / "arena" /
+  /// "stream-fallback"; see InferenceEngine::kernel_backend). Empty when
+  /// nothing is loaded.
+  std::string kernel_backend;
 };
 
 class DetectorRegistry {

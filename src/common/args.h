@@ -1,0 +1,197 @@
+#pragma once
+// Unified --flag=value command-line parsing for the hmd_* tools.
+//
+// Every tool in tools/ takes the same flag shape — `--name=value` options,
+// optional `--name[=on|off]` toggles, and bare positionals — and used to
+// hand-roll the same rfind/atoi loop with subtly different validation
+// (atoi silently turning "abc" into 0, unchecked ranges). This header is
+// the one copy: a Parser walks argv token by token and the tool's loop
+// tries typed matchers against the current token. Matchers either don't
+// match (wrong option name — try the next matcher), or match and
+// parse+validate the value, reporting any malformed value through the
+// tool's usage handler so every usage error behaves identically: one
+// diagnostic, exit code 2.
+//
+//   args::Parser cli(argc, argv, [](const std::string& bad) {
+//     usage_error(bad);  // prints usage, std::exit(2)
+//   });
+//   while (cli.next()) {
+//     if (cli.match_choice("--dataset", {"dvfs", "hpc"}, a.dataset)) continue;
+//     if (cli.match_int("--batches", a.batches, 1)) continue;
+//     if (cli.is_option()) cli.reject();  // unknown --flag
+//     a.positionals.push_back(std::string(cli.token()));
+//   }
+//
+// Numeric parsing is strict (the whole value must parse; range checked),
+// unlike the old atoi paths. The usage handler must not return — it is
+// expected to exit or throw (tests throw to observe rejects); a handler
+// that does return trips an abort rather than silently continuing with a
+// half-parsed value.
+
+#include <cstdlib>
+#include <functional>
+#include <initializer_list>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hmd::args {
+
+/// HOST:PORT split on the last ':' (IPv6-tolerant the cheap way), with
+/// the port range-checked. `min_port` 0 admits the kernel-assigned
+/// ephemeral port (servers); clients pass 1. nullopt = malformed.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+inline std::optional<HostPort> parse_host_port(std::string_view spec,
+                                               int min_port = 0) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  HostPort out;
+  out.host = std::string(spec.substr(0, colon));
+  const std::string port_text(spec.substr(colon + 1));
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == nullptr || *end != '\0') return std::nullopt;
+  if (port < min_port || port > 65535) return std::nullopt;
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+class Parser {
+ public:
+  using UsageHandler = std::function<void(const std::string& bad_token)>;
+
+  /// `on_usage_error` receives the offending raw token and must not
+  /// return normally (exit or throw). `first` is the argv index of the
+  /// first token to parse (tools with a subcommand start past it).
+  Parser(int argc, char** argv, UsageHandler on_usage_error, int first = 1)
+      : argc_(argc), argv_(argv), index_(first - 1),
+        fail_(std::move(on_usage_error)) {}
+
+  /// Advance to the next token; false once argv is exhausted.
+  bool next() { return ++index_ < argc_; }
+
+  /// The current raw token.
+  std::string_view token() const { return argv_[index_]; }
+
+  /// Does the current token look like an option (leading "--")?
+  bool is_option() const { return token().rfind("--", 0) == 0; }
+
+  /// Report the current token as a usage error. [[noreturn]] in spirit:
+  /// the handler exits or throws.
+  void reject() const {
+    fail_(std::string(token()));
+    std::abort();  // the usage handler must not return
+  }
+
+  /// --name=S with S nonempty (an empty value is a usage error, not an
+  /// unmatched token: `--out=` is a typo, not a request for "").
+  bool match(std::string_view name, std::string& out) {
+    std::string_view value;
+    if (!split_value(name, value)) return false;
+    if (value.empty()) reject();
+    out = std::string(value);
+    return true;
+  }
+
+  /// --name=A|B|C from a closed set.
+  bool match_choice(std::string_view name,
+                    std::initializer_list<std::string_view> allowed,
+                    std::string& out) {
+    std::string_view value;
+    if (!split_value(name, value)) return false;
+    for (const std::string_view choice : allowed) {
+      if (value == choice) {
+        out = std::string(value);
+        return true;
+      }
+    }
+    reject();
+    return false;  // unreachable
+  }
+
+  /// Bare `--name` toggle.
+  bool match_switch(std::string_view name, bool& out) {
+    if (token() != name) return false;
+    out = true;
+    return true;
+  }
+
+  /// `--name` or `--name=V`: out is "" for the bare spelling, V (possibly
+  /// "") otherwise. For on/off/auto-style toggles whose interpretation is
+  /// the tool's business.
+  bool match_toggle(std::string_view name, std::string& out) {
+    if (token() == name) {
+      out.clear();
+      return true;
+    }
+    std::string_view value;
+    if (!split_value(name, value)) return false;
+    out = std::string(value);
+    return true;
+  }
+
+  /// --name=N parsed as a base-10 integer into any integral type, range
+  /// checked against [min, max] (and against T's own limits).
+  template <typename T>
+  bool match_int(std::string_view name, T& out,
+                 long long min = std::numeric_limits<long long>::min(),
+                 long long max = std::numeric_limits<long long>::max()) {
+    std::string_view value;
+    if (!split_value(name, value)) return false;
+    const std::string text(value);
+    char* end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end == nullptr || *end != '\0') reject();
+    if (parsed < min || parsed > max) reject();
+    if (parsed < static_cast<long long>(std::numeric_limits<T>::min()) ||
+        (parsed > 0 && static_cast<unsigned long long>(parsed) >
+                           static_cast<unsigned long long>(
+                               std::numeric_limits<T>::max()))) {
+      reject();
+    }
+    out = static_cast<T>(parsed);
+    return true;
+  }
+
+  /// --name=F parsed as a double in [min, max], or (min, max] with
+  /// `min_exclusive` (e.g. --scale must be strictly positive).
+  bool match_double(std::string_view name, double& out,
+                    double min = std::numeric_limits<double>::lowest(),
+                    double max = std::numeric_limits<double>::max(),
+                    bool min_exclusive = false) {
+    std::string_view value;
+    if (!split_value(name, value)) return false;
+    const std::string text(value);
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0') reject();
+    if (parsed < min || (min_exclusive && parsed == min) || parsed > max) {
+      reject();
+    }
+    out = parsed;
+    return true;
+  }
+
+ private:
+  /// True iff the current token is `name=<value>`; yields the value.
+  bool split_value(std::string_view name, std::string_view& value) const {
+    const std::string_view tok = token();
+    if (tok.size() <= name.size() || tok.substr(0, name.size()) != name ||
+        tok[name.size()] != '=') {
+      return false;
+    }
+    value = tok.substr(name.size() + 1);
+    return true;
+  }
+
+  int argc_;
+  char** argv_;
+  int index_;
+  UsageHandler fail_;
+};
+
+}  // namespace hmd::args

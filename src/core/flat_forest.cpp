@@ -1,5 +1,6 @@
 #include "core/flat_forest.h"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 
@@ -7,9 +8,12 @@
 #include "common/error.h"
 #include "core/thread_pool.h"
 #include "core/uncertainty.h"
+#include "jit/jit.h"
 #include "ml/decision_tree.h"
 
 namespace hmd::core {
+
+FlatForestEngine::~FlatForestEngine() = default;
 
 std::unique_ptr<FlatForestEngine> FlatForestEngine::compile(
     const ml::Bagging& ensemble) {
@@ -75,6 +79,7 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::compile(
 
   flat->adopt_storage();
   flat->derive_stumps();
+  flat->select_kernels();
   return flat;
 }
 
@@ -213,6 +218,7 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::load_blob(
   flat->adopt_storage();
   flat->validate_geometry(context, /*deep=*/true);
   flat->derive_stumps();
+  flat->select_kernels();
   return flat;
 }
 
@@ -245,6 +251,7 @@ std::unique_ptr<FlatForestEngine> FlatForestEngine::from_buffer(
   flat->buffer_ = std::move(keepalive);
   flat->validate_geometry(in.context(), deep_validate);
   flat->derive_stumps();
+  flat->select_kernels();
   return flat;
 }
 
@@ -273,40 +280,24 @@ EnsembleStats FlatForestEngine::stats_one(RowView x) const {
 }
 
 template <bool kNeedPosterior, bool kNeedEntropy>
-void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
-                                   std::size_t row_end,
-                                   EnsembleStats* out) const {
-  const Node* nodes = nodes_.data();
-  const double* entropy = leaf_entropy_.data();
-  const std::size_t tile = row_end - row_begin;
-  const std::size_t cols = x.cols();
-
-  // Column-major copy of the tile: xt[c * tile + r] = x(row_begin + r, c).
-  // Unit-stride feature loads for the stump loop below.
-  std::vector<double> xt(cols * tile);
-  for (std::size_t r = 0; r < tile; ++r) {
-    const double* row = x.row_ptr(row_begin + r);
-    for (std::size_t c = 0; c < cols; ++c) xt[c * tile + r] = row[c];
-  }
-
-  // Struct-of-arrays accumulators so both loops below vectorise. Votes are
-  // accumulated as 0.0/1.0 doubles (exact for any ensemble size) to keep
-  // the stump loop free of int/FP domain crossings. Masked-out fields get
-  // no accumulator and no accumulate: a prediction-only request runs the
-  // stump loop as one compare plus a single blend and add per row.
-  std::vector<double> votes(tile, 0.0);
-  std::vector<double> sum_p1(kNeedPosterior ? tile : 0, 0.0);
-  std::vector<double> sum_entropy(kNeedEntropy ? tile : 0, 0.0);
+void FlatForestEngine::arena_kernel(const FlatForestEngine& self,
+                                    const double* xt, std::size_t tile,
+                                    double* votes, double* sum_p1,
+                                    double* sum_entropy) {
+  const Node* nodes = self.nodes_.data();
+  const double* entropy = self.leaf_entropy_.data();
 
   // Tree-major: each tree's nodes stay hot while the whole tile reuses
   // them. Trees run in ascending member order and lanes are rows, so
   // per-sample accumulation order matches stats_one and the reference
-  // path exactly.
-  for (std::size_t m = 0; m < roots_.size(); ++m) {
-    if (is_stump_[m]) {
-      const Stump stump = stumps_[m];
+  // path exactly. Masked-out fields get no accumulate: a prediction-only
+  // request runs the stump loop as one compare plus a single blend and
+  // add per row.
+  for (std::size_t m = 0; m < self.roots_.size(); ++m) {
+    if (self.is_stump_[m]) {
+      const Stump stump = self.stumps_[m];
       const double* column =
-          xt.data() + static_cast<std::size_t>(stump.feature) * tile;
+          xt + static_cast<std::size_t>(stump.feature) * kTileRows;
       for (std::size_t r = 0; r < tile; ++r) {
         const bool hi = !(column[r] <= stump.threshold);  // NaN goes hi
         votes[r] += hi ? stump.v_hi : stump.v_lo;
@@ -315,13 +306,13 @@ void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
       }
       continue;
     }
-    const std::int32_t root = roots_[m];
+    const std::int32_t root = self.roots_[m];
     for (std::size_t r = 0; r < tile; ++r) {
       std::int32_t i = root;
       Node node = nodes[i];
       while (node.feature >= 0) {
         i = node.left +
-            !(xt[static_cast<std::size_t>(node.feature) * tile + r] <=
+            !(xt[static_cast<std::size_t>(node.feature) * kTileRows + r] <=
               node.threshold);
         node = nodes[i];
       }
@@ -331,12 +322,42 @@ void FlatForestEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
       if constexpr (kNeedEntropy) sum_entropy[r] += entropy[i];
     }
   }
+}
 
-  for (std::size_t r = 0; r < tile; ++r) {
-    out[r].votes1 = static_cast<std::int32_t>(votes[r]);
-    if constexpr (kNeedPosterior) out[r].sum_p1 = sum_p1[r];
-    if constexpr (kNeedEntropy) out[r].sum_entropy = sum_entropy[r];
-  }
+template <int kShape>
+void FlatForestEngine::jit_kernel(const FlatForestEngine& self,
+                                  const double* xt, std::size_t tile,
+                                  double* votes, double* sum_p1,
+                                  double* sum_entropy) {
+  self.jit_->kernel(kShape)(xt, tile, votes, sum_p1, sum_entropy);
+}
+
+void FlatForestEngine::select_kernels() {
+  kernels_[0] = &arena_kernel<false, false>;
+  kernels_[1] = &arena_kernel<true, false>;
+  kernels_[2] = &arena_kernel<false, true>;
+  kernels_[3] = &arena_kernel<true, true>;
+  jit_.reset();
+  if (!jit::should_compile(*this)) return;
+  jit_ = jit::compile_forest(*this);
+  if (jit_ == nullptr) return;  // fallback: interpreted rows stay
+  kernels_[0] = &jit_kernel<0>;
+  kernels_[1] = &jit_kernel<1>;
+  kernels_[2] = &jit_kernel<2>;
+  kernels_[3] = &jit_kernel<3>;
+}
+
+std::string FlatForestEngine::kernel_backend() const {
+  if (jit_ != nullptr) return "jit";
+  return zero_copy() ? "arena" : "stream-fallback";
+}
+
+double FlatForestEngine::jit_compile_ms() const {
+  return jit_ != nullptr ? jit_->compile_ms() : 0.0;
+}
+
+std::size_t FlatForestEngine::jit_code_bytes() const {
+  return jit_ != nullptr ? jit_->code_bytes() : 0;
 }
 
 void FlatForestEngine::stats_batch(const Matrix& x, ThreadPool* pool,
@@ -351,19 +372,39 @@ void FlatForestEngine::stats_batch(const Matrix& x, ThreadPool* pool,
   // of the per-row work, so the prediction-only specialisation is real.
   const bool posterior = (mask & kStatsPosterior) != 0;
   const bool entropy = (mask & kStatsEntropy) != 0;
+  const BatchKernelFn kernel =
+      kernels_[(posterior ? 1 : 0) | (entropy ? 2 : 0)];
+  const std::size_t cols = x.cols();
   auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {
+    // Per-worker scratch, reused across this worker's tiles: the
+    // transposed tile at the fixed kTileRows stride (feature c's column
+    // at xt + c * kTileRows — a compile-time displacement for the JIT
+    // rows) plus the struct-of-arrays accumulators. Votes accumulate as
+    // 0.0/1.0 doubles (exact for any ensemble size) so every kernel
+    // stays in the FP domain end to end.
+    std::vector<double> xt(cols * kTileRows);
+    std::vector<double> votes(kTileRows);
+    std::vector<double> sum_p1(posterior ? kTileRows : 0);
+    std::vector<double> sum_entropy(entropy ? kTileRows : 0);
     for (std::size_t t = tile_begin; t < tile_end; ++t) {
       const std::size_t row_begin = t * kTileRows;
       const std::size_t row_end = std::min(x.rows(), row_begin + kTileRows);
+      const std::size_t tile = row_end - row_begin;
+      for (std::size_t r = 0; r < tile; ++r) {
+        const double* row = x.row_ptr(row_begin + r);
+        for (std::size_t c = 0; c < cols; ++c) xt[c * kTileRows + r] = row[c];
+      }
+      std::fill_n(votes.begin(), tile, 0.0);
+      if (posterior) std::fill_n(sum_p1.begin(), tile, 0.0);
+      if (entropy) std::fill_n(sum_entropy.begin(), tile, 0.0);
+      kernel(*this, xt.data(), tile, votes.data(),
+             posterior ? sum_p1.data() : nullptr,
+             entropy ? sum_entropy.data() : nullptr);
       EnsembleStats* dst = out.data() + row_begin;
-      if (posterior && entropy) {
-        tile_kernel<true, true>(x, row_begin, row_end, dst);
-      } else if (posterior) {
-        tile_kernel<true, false>(x, row_begin, row_end, dst);
-      } else if (entropy) {
-        tile_kernel<false, true>(x, row_begin, row_end, dst);
-      } else {
-        tile_kernel<false, false>(x, row_begin, row_end, dst);
+      for (std::size_t r = 0; r < tile; ++r) {
+        dst[r].votes1 = static_cast<std::int32_t>(votes[r]);
+        if (posterior) dst[r].sum_p1 = sum_p1[r];
+        if (entropy) dst[r].sum_entropy = sum_entropy[r];
       }
     }
   };

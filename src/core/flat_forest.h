@@ -46,6 +46,18 @@
 // — zero copies, residency paid in page faults actually touched — and
 // holds a shared_ptr keepalive so the mapping outlives the engine. The
 // stump table is always re-derived at load; it is never serialised.
+//
+// Kernel dispatch: stats_batch lowers its StatsMask to one of four tile
+// kernels through a per-engine dispatch table selected once at load time
+// (select_kernels). The table rows share one uniform signature — a tile
+// transposed at the fixed kTileRows stride, the live row count, and
+// dense vote/posterior/entropy accumulators — so a backend is just a set
+// of four rows: the interpreted arena kernels always exist, and when the
+// tree JIT is available and enabled (src/jit/jit.h) the table instead
+// points at natively compiled kernels that are bit-identical to the
+// interpreter (asserted by the JitParity suite). kernel_backend()
+// reports which rows are installed; everything above stats_batch
+// (score() lowering, the StatsMask contract) is backend-blind.
 
 #include <cstdint>
 #include <iosfwd>
@@ -61,6 +73,10 @@
 namespace hmd::io {
 class ByteReader;
 }  // namespace hmd::io
+
+namespace hmd::jit {
+class ForestProgram;
+}  // namespace hmd::jit
 
 namespace hmd::core {
 
@@ -90,6 +106,8 @@ class FlatForestEngine final : public InferenceEngine {
       std::shared_ptr<const io::ArtifactBuffer> keepalive,
       bool deep_validate = true);
 
+  ~FlatForestEngine() override;
+
   std::string name() const override { return "flat_forest"; }
   EngineId engine_id() const override { return EngineId::kFlatForest; }
   std::size_t n_members() const override { return roots_.size(); }
@@ -107,17 +125,26 @@ class FlatForestEngine final : public InferenceEngine {
            stumps_.size() * sizeof(Stump);
   }
 
+  /// Which batch-kernel rows the dispatch table holds: "jit" when the
+  /// tree JIT compiled this forest, else "arena" (the interpreter).
+  std::string kernel_backend() const override;
+
   std::size_t n_trees() const { return roots_.size(); }
   std::size_t n_nodes() const { return nodes_.size(); }
   std::size_t n_stumps() const { return n_stumps_; }
   std::size_t n_features() const override { return n_features_; }
 
+  /// Wall-clock cost of the JIT compile at load (0 when interpreted) and
+  /// the sealed code size — bench_latency's jit series reports both.
+  double jit_compile_ms() const;
+  std::size_t jit_code_bytes() const;
+
   static constexpr std::size_t kTileRows = 256;
 
- private:
   /// One arena slot. feature < 0 marks a leaf; for leaves, threshold holds
   /// P(class 1). For internal nodes, left is the arena index of the left
-  /// child and the right child sits at left + 1.
+  /// child and the right child sits at left + 1. Public so the tree JIT
+  /// (src/jit) can walk the arena it compiles.
   struct alignas(16) Node {
     double threshold = 0.0;
     std::int32_t feature = -1;
@@ -125,6 +152,12 @@ class FlatForestEngine final : public InferenceEngine {
   };
   static_assert(sizeof(Node) == 16, "arena nodes are streamed raw");
 
+  /// Read-only arena views for the JIT compiler (and the parity suite).
+  std::span<const Node> nodes_view() const { return nodes_; }
+  std::span<const double> leaf_entropy_view() const { return leaf_entropy_; }
+  std::span<const std::int32_t> roots_view() const { return roots_; }
+
+ private:
   /// Specialised encoding of a depth <= 1 tree: evaluated branchlessly as
   ///   hi = !(x[feature] <= threshold);  p1 = hi ? p_hi : p_lo
   /// A pure-leaf tree uses threshold = +inf so the select always takes the
@@ -157,9 +190,36 @@ class FlatForestEngine final : public InferenceEngine {
   /// is already proven). Throws LoadError{kBadStructure} naming `context`.
   void validate_geometry(const std::string& context, bool deep) const;
 
+  /// The uniform batch-kernel row signature. `xt` is the tile transposed
+  /// at the fixed kTileRows stride (feature c's column starts at
+  /// xt + c * kTileRows); `tile` is the live row count (<= kTileRows);
+  /// the accumulators are zeroed by the caller, and a row whose StatsMask
+  /// shape excludes a field receives nullptr for it and must not touch
+  /// it. Rows are plain functions so the table is data, not virtual
+  /// dispatch.
+  using BatchKernelFn = void (*)(const FlatForestEngine& self,
+                                 const double* xt, std::size_t tile,
+                                 double* votes, double* sum_p1,
+                                 double* sum_entropy);
+
+  /// Interpreted rows: the arena/stump walk, templated on shape.
   template <bool kNeedPosterior, bool kNeedEntropy>
-  void tile_kernel(const Matrix& x, std::size_t row_begin,
-                   std::size_t row_end, EnsembleStats* out) const;
+  static void arena_kernel(const FlatForestEngine& self, const double* xt,
+                           std::size_t tile, double* votes, double* sum_p1,
+                           double* sum_entropy);
+
+  /// JIT rows: trampolines into the ForestProgram's native entry points.
+  template <int kShape>
+  static void jit_kernel(const FlatForestEngine& self, const double* xt,
+                         std::size_t tile, double* votes, double* sum_p1,
+                         double* sum_entropy);
+
+  /// Fill the dispatch table — interpreted rows, then, when the JIT is
+  /// enabled and compilation succeeds, the native rows. Called once by
+  /// every construction path (compile / load_blob / from_buffer), which
+  /// on the registry path runs under the per-entry load mutex: at most
+  /// one compile per load, off the registry-wide lock.
+  void select_kernels();
 
   // Hot-path views. Either into the storage vectors below (training /
   // v1 stream load) or straight into buffer_'s mapped bytes (v2 load).
@@ -182,6 +242,14 @@ class FlatForestEngine final : public InferenceEngine {
   std::vector<Stump> stumps_;
   std::vector<std::uint8_t> is_stump_;
   std::size_t n_stumps_ = 0;
+
+  /// The per-engine kernel dispatch table, indexed by StatsMask shape
+  /// (posterior ? 1 : 0) | (entropy ? 2 : 0). Filled by select_kernels().
+  BatchKernelFn kernels_[4] = {nullptr, nullptr, nullptr, nullptr};
+  /// Owns the native code when the JIT rows are installed; null keeps
+  /// the interpreted rows (and is the automatic fallback everywhere the
+  /// JIT is unavailable, disabled, or declined the forest).
+  std::unique_ptr<jit::ForestProgram> jit_;
   /// Expected input width; every node's feature index is < this (checked
   /// at load, so a corrupt artifact can never drive out-of-bounds reads).
   std::size_t n_features_ = 0;

@@ -111,6 +111,17 @@ class InferenceEngine {
   /// copied from disk, exactly the cost this flag distinguishes.
   virtual bool zero_copy() const { return false; }
 
+  /// Which batch-kernel implementation this engine dispatches to: "jit"
+  /// when a backend compiled the model to native code at load (see
+  /// FlatForestEngine's kernel dispatch table), "arena" for the
+  /// interpreted default over a zero-copy mapping, "stream-fallback" for
+  /// the interpreted default over fully-copied bytes (the mmap-failed /
+  /// --mmap=off load path). Observability only — outputs are
+  /// bit-identical across all three, and serving layers log it per model.
+  virtual std::string kernel_backend() const {
+    return zero_copy() ? "arena" : "stream-fallback";
+  }
+
   /// Bytes of model state touched on the hot path (arena, weight matrix).
   virtual std::size_t memory_bytes() const = 0;
 };

@@ -75,6 +75,18 @@ done
 grep -q "serving  2 model(s)" "$workdir/server.log" || {
   echo "FAIL: expected 2 models from the registry" >&2; exit 1; }
 
+# Every load line must name the kernel backend the engine selected
+# (arena for these mmap-loaded stump-scale bundles under the default
+# --jit=auto policy; jit where the profitability heuristic takes it;
+# stream-fallback when zero-copy is unavailable).
+for key in dvfs_RF_M5 dvfs_LR_M5; do
+  grep -Eq "^model    $key +.*, kernel (jit|arena|stream-fallback)," \
+      "$workdir/server.log" || {
+    echo "FAIL: load line for $key does not report a kernel backend" >&2
+    cat "$workdir/server.log" >&2
+    exit 1; }
+done
+
 connect=(--connect=127.0.0.1:"$port" "${common[@]}" --rows=4)
 
 # Leg 1: detection mask, concurrent pipelined connections, bit-parity
@@ -160,5 +172,14 @@ grep -q "^batcher  " "$workdir/server.log" || {
   echo "FAIL: missing batcher summary" >&2; exit 1; }
 grep -q "^served   " "$workdir/server.log" || {
   echo "FAIL: missing served summary" >&2; exit 1; }
+# The end-of-run health summary must carry the kernel backend from the
+# registry snapshot (the same field ModelHealth exposes to callers).
+for key in dvfs_RF_M5 dvfs_LR_M5; do
+  grep -Eq "^health   $key +.*, kernel (jit|arena|stream-fallback)," \
+      "$workdir/server.log" || {
+    echo "FAIL: health summary for $key missing kernel backend" >&2
+    cat "$workdir/server.log" >&2
+    exit 1; }
+done
 
 echo "serve_socket_smoke: OK"

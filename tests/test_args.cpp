@@ -1,0 +1,194 @@
+// Round-trip tests for the unified tool flag parser (common/args.h):
+// every matcher parses back exactly what a tool would put on a command
+// line, malformed or out-of-range values hit the usage handler (the
+// tools' exit-2 path — modelled here as a throw), and the host:port
+// helper agrees with both the server (ephemeral port 0 allowed) and
+// client (port >= 1) contracts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+
+namespace {
+
+using namespace hmd;
+
+/// A usage error surfaced by the parser, carrying the offending token
+/// (the tools print it in their usage block before exiting 2).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Run a parse loop over `argv`-style tokens, collecting positionals.
+/// The body is a callable(Parser&) -> bool returning true when it
+/// consumed the current token.
+template <typename Body>
+std::vector<std::string> parse(const std::vector<std::string>& tokens,
+                               Body&& body) {
+  std::vector<char*> argv = {const_cast<char*>("tool")};
+  for (const std::string& token : tokens) {
+    argv.push_back(const_cast<char*>(token.c_str()));
+  }
+  args::Parser cli(static_cast<int>(argv.size()), argv.data(),
+                   [](const std::string& bad) { throw UsageError(bad); });
+  std::vector<std::string> positionals;
+  while (cli.next()) {
+    if (body(cli)) continue;
+    if (cli.is_option()) cli.reject();
+    positionals.push_back(std::string(cli.token()));
+  }
+  return positionals;
+}
+
+TEST(ArgsParser, RoundTripsEveryMatcherKind) {
+  std::string out;
+  std::string dataset;
+  int batches = 0;
+  std::size_t rows = 0;
+  std::uint64_t seed = 0;
+  double scale = 0.0;
+  bool estimate = false;
+  std::string mmap;
+  const auto positionals = parse(
+      {"--out=models/a.hmdf", "--dataset=hpc", "--batches=7", "--rows=4096",
+       "--seed=12345678901234", "--scale=2.5", "--estimate", "--mmap=off",
+       "a.hmdf", "b.hmdf"},
+      [&](args::Parser& cli) {
+        return cli.match("--out", out) ||
+               cli.match_choice("--dataset", {"dvfs", "hpc"}, dataset) ||
+               cli.match_int("--batches", batches, 1) ||
+               cli.match_int("--rows", rows, 1) ||
+               cli.match_int("--seed", seed) ||
+               cli.match_double("--scale", scale, 0.0, 16.0, true) ||
+               cli.match_switch("--estimate", estimate) ||
+               cli.match_toggle("--mmap", mmap);
+      });
+  EXPECT_EQ(out, "models/a.hmdf");
+  EXPECT_EQ(dataset, "hpc");
+  EXPECT_EQ(batches, 7);
+  EXPECT_EQ(rows, 4096u);
+  EXPECT_EQ(seed, 12345678901234ull);
+  EXPECT_EQ(scale, 2.5);
+  EXPECT_TRUE(estimate);
+  EXPECT_EQ(mmap, "off");
+  EXPECT_EQ(positionals, (std::vector<std::string>{"a.hmdf", "b.hmdf"}));
+}
+
+TEST(ArgsParser, ToggleSpellings) {
+  // --flag (bare), --flag=on, --flag=off all match; the value string is
+  // the tool's to interpret.
+  for (const auto& [token, want] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"--jit", ""}, {"--jit=on", "on"}, {"--jit=off", "off"},
+           {"--jit=auto", "auto"}}) {
+    std::string got = "unset";
+    parse({token}, [&](args::Parser& cli) {
+      return cli.match_toggle("--jit", got);
+    });
+    EXPECT_EQ(got, want) << token;
+  }
+}
+
+TEST(ArgsParser, StrictIntegerParsing) {
+  // The atoi paths this replaces silently read "abc" as 0 and "12x" as
+  // 12; the unified parser rejects anything but a full integer.
+  int value = 0;
+  const auto with_int = [&](args::Parser& cli) {
+    return cli.match_int("--n", value, 1, 100);
+  };
+  EXPECT_THROW(parse({"--n=abc"}, with_int), UsageError);
+  EXPECT_THROW(parse({"--n=12x"}, with_int), UsageError);
+  EXPECT_THROW(parse({"--n="}, with_int), UsageError);
+  EXPECT_THROW(parse({"--n=0"}, with_int), UsageError);    // below min
+  EXPECT_THROW(parse({"--n=101"}, with_int), UsageError);  // above max
+  parse({"--n=100"}, with_int);
+  EXPECT_EQ(value, 100);
+}
+
+TEST(ArgsParser, UnsignedTargetRejectsNegatives) {
+  std::size_t value = 0;
+  EXPECT_THROW(parse({"--n=-3"},
+                     [&](args::Parser& cli) {
+                       return cli.match_int("--n", value);
+                     }),
+               UsageError);
+}
+
+TEST(ArgsParser, DoubleRangeAndExclusiveMinimum) {
+  double value = 0.0;
+  const auto with_scale = [&](args::Parser& cli) {
+    return cli.match_double("--scale", value, 0.0, 16.0, true);
+  };
+  EXPECT_THROW(parse({"--scale=0"}, with_scale), UsageError);  // exclusive
+  EXPECT_THROW(parse({"--scale=16.5"}, with_scale), UsageError);
+  EXPECT_THROW(parse({"--scale=fast"}, with_scale), UsageError);
+  parse({"--scale=0.25"}, with_scale);
+  EXPECT_EQ(value, 0.25);
+}
+
+TEST(ArgsParser, ChoiceRejectsOutsideTheSet) {
+  std::string dataset;
+  EXPECT_THROW(parse({"--dataset=mnist"},
+                     [&](args::Parser& cli) {
+                       return cli.match_choice("--dataset", {"dvfs", "hpc"},
+                                               dataset);
+                     }),
+               UsageError);
+}
+
+TEST(ArgsParser, UnknownOptionAndEmptyValueAreUsageErrors) {
+  std::string out;
+  const auto with_out = [&](args::Parser& cli) {
+    return cli.match("--out", out);
+  };
+  EXPECT_THROW(parse({"--bogus=1"}, with_out), UsageError);
+  EXPECT_THROW(parse({"--out="}, with_out), UsageError);
+  // A similarly-prefixed option is not a match for --out.
+  EXPECT_THROW(parse({"--output=x"}, with_out), UsageError);
+}
+
+TEST(ArgsParser, SubcommandStyleFirstIndex) {
+  // hmd_faultgen parses options after `command FILE`: first=3.
+  std::vector<char*> argv = {
+      const_cast<char*>("hmd_faultgen"), const_cast<char*>("bitflip"),
+      const_cast<char*>("model.hmdf"), const_cast<char*>("--bit=5")};
+  args::Parser cli(static_cast<int>(argv.size()), argv.data(),
+                   [](const std::string& bad) { throw UsageError(bad); },
+                   /*first=*/3);
+  int bit = 0;
+  while (cli.next()) {
+    if (cli.match_int("--bit", bit, 0, 7)) continue;
+    cli.reject();
+  }
+  EXPECT_EQ(bit, 5);
+}
+
+TEST(ArgsParser, HostPortSplitsOnLastColonAndRangeChecks) {
+  const auto server = args::parse_host_port("127.0.0.1:0");
+  ASSERT_TRUE(server.has_value());
+  EXPECT_EQ(server->host, "127.0.0.1");
+  EXPECT_EQ(server->port, 0);
+
+  // Port 0 is the kernel-assigned ephemeral port: fine for a server,
+  // meaningless for a client dialing out.
+  EXPECT_FALSE(args::parse_host_port("127.0.0.1:0", /*min_port=*/1));
+
+  const auto client = args::parse_host_port("localhost:8080", 1);
+  ASSERT_TRUE(client.has_value());
+  EXPECT_EQ(client->host, "localhost");
+  EXPECT_EQ(client->port, 8080);
+
+  EXPECT_FALSE(args::parse_host_port("no-port"));
+  EXPECT_FALSE(args::parse_host_port(":8080"));
+  EXPECT_FALSE(args::parse_host_port("host:"));
+  EXPECT_FALSE(args::parse_host_port("host:notaport"));
+  EXPECT_FALSE(args::parse_host_port("host:65536"));
+  EXPECT_FALSE(args::parse_host_port("host:-1"));
+}
+
+}  // namespace

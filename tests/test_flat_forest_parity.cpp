@@ -3,12 +3,32 @@
 // to the reference pointer-tree path — predictions, vote counts, summed
 // probabilities, and every entropy — across both dataset bundles and
 // ensemble sizes M in {1, 5, 100}.
+//
+// The JitParity suite extends the contract one layer down: the same
+// artifact loaded with the tree-to-native JIT forced on and forced off
+// must produce bit-identical ScoreResults for every wrapper-suite
+// OutputMask, every uncertainty mode, both bundles, M in {1, 5, 100}, a
+// randomised deep-tree artifact, and NaN-bearing inputs (the JIT's
+// compare encodings must descend right on NaN exactly like the
+// interpreter). On targets without the JIT both loads fall back to the
+// interpreted arena and the comparison is trivially green — the suite
+// asserts behaviour, not that native code exists.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/score.h"
 #include "core/flat_forest.h"
 #include "core/hmd.h"
+#include "core/model_artifact.h"
 #include "core/uncertainty.h"
+#include "jit/jit.h"
 #include "test_support.h"
 
 namespace {
@@ -135,6 +155,147 @@ TEST(FlatForestParity, BatchIsDeterministicAcrossThreadCounts) {
     EXPECT_EQ(a[r].vote_entropy, b[r].vote_entropy);
     EXPECT_EQ(a[r].soft_entropy, b[r].soft_entropy);
   }
+}
+
+/// Restores the process-wide JIT policy on scope exit, so a failing test
+/// cannot leak a forced policy into later suites.
+struct PolicyGuard {
+  jit::Policy saved = jit::policy();
+  ~PolicyGuard() { jit::set_policy(saved); }
+};
+
+core::TrustedHmd load_with_policy(const std::string& path, jit::Policy p) {
+  const PolicyGuard guard;
+  jit::set_policy(p);
+  return core::load_model(path, /*n_threads=*/1);
+}
+
+/// Every OutputMask the wrapper suite exercises: the three presets plus
+/// each column bit on its own (a single-column request drives the
+/// narrowest StatsMask through the kernel table).
+const std::vector<api::OutputMask>& wrapper_masks() {
+  static const std::vector<api::OutputMask> masks = [] {
+    std::vector<api::OutputMask> out = {
+        api::kPredictionOnly, api::kPredictionOnly | api::kOutTrusted,
+        api::kDetectionOutputs, api::kEstimateOutputs};
+    for (std::uint32_t bit = 0; bit < 11; ++bit) out.push_back(1u << bit);
+    return out;
+  }();
+  return masks;
+}
+
+void expect_identical_results(const api::ScoreResult& jit,
+                              const api::ScoreResult& arena) {
+  ASSERT_EQ(jit.rows, arena.rows);
+  EXPECT_EQ(jit.prediction, arena.prediction);
+  EXPECT_EQ(jit.confidence, arena.confidence);
+  EXPECT_EQ(jit.votes, arena.votes);
+  EXPECT_EQ(jit.vote_entropy, arena.vote_entropy);
+  EXPECT_EQ(jit.soft_entropy, arena.soft_entropy);
+  EXPECT_EQ(jit.expected_entropy, arena.expected_entropy);
+  EXPECT_EQ(jit.mutual_information, arena.mutual_information);
+  EXPECT_EQ(jit.variation_ratio, arena.variation_ratio);
+  EXPECT_EQ(jit.max_probability, arena.max_probability);
+  EXPECT_EQ(jit.score, arena.score);
+  EXPECT_EQ(jit.trusted, arena.trusted);
+}
+
+/// Round-trip one detector through an artifact, load it twice (JIT forced
+/// on / forced off), and demand bit-identical score() columns for every
+/// wrapper mask and every uncertainty mode over `x`.
+void expect_jit_parity(const core::TrustedHmd& trained, const Matrix& x,
+                       const std::string& tag) {
+  const std::filesystem::path dir = "jit_parity_tmp_" + tag;
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "model.hmdf").string();
+  core::save_model(trained, path);
+
+  const core::TrustedHmd jitted = load_with_policy(path, jit::Policy::kOn);
+  const core::TrustedHmd arena = load_with_policy(path, jit::Policy::kOff);
+  EXPECT_EQ(arena.engine().kernel_backend(), "arena");
+  if (jit::available()) {
+    // Forced on, every forest compiles (stump-dominated ones included —
+    // exactly the codegen paths kAuto would skip).
+    EXPECT_EQ(jitted.engine().kernel_backend(), "jit");
+    EXPECT_GT(jitted.flat_forest().jit_code_bytes(), 0u);
+  }
+
+  api::ScoreRequest request;
+  request.x = &x;
+  api::ScoreResult jit_result;
+  api::ScoreResult arena_result;
+  for (const api::OutputMask mask : wrapper_masks()) {
+    SCOPED_TRACE(tag + " mask=" + std::to_string(mask));
+    request.outputs = mask;
+    request.mode.reset();
+    jitted.score(request, jit_result);
+    arena.score(request, arena_result);
+    expect_identical_results(jit_result, arena_result);
+  }
+  request.outputs = api::kDetectionOutputs;
+  for (const auto mode :
+       {core::UncertaintyMode::kVoteEntropy, core::UncertaintyMode::kSoftEntropy,
+        core::UncertaintyMode::kExpectedEntropy,
+        core::UncertaintyMode::kMutualInformation,
+        core::UncertaintyMode::kVariationRatio,
+        core::UncertaintyMode::kMaxProbability}) {
+    SCOPED_TRACE(tag + " mode=" + core::uncertainty_mode_name(mode));
+    request.mode = mode;
+    jitted.score(request, jit_result);
+    arena.score(request, arena_result);
+    expect_identical_results(jit_result, arena_result);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JitParity, DvfsAllEnsembleSizesAllMasks) {
+  const auto& bundle = test::small_dvfs();
+  for (const int members : {1, 5, 100}) {
+    core::TrustedHmd hmd(config_for(members));
+    hmd.fit(bundle.train);
+    expect_jit_parity(hmd, bundle.test.X,
+                      "dvfs_m" + std::to_string(members));
+  }
+}
+
+TEST(JitParity, HpcAllEnsembleSizesAllMasks) {
+  const auto& bundle = test::small_hpc();
+  for (const int members : {1, 5, 100}) {
+    core::TrustedHmd hmd(config_for(members));
+    hmd.fit(bundle.train);
+    expect_jit_parity(hmd, bundle.test.X, "hpc_m" + std::to_string(members));
+  }
+}
+
+TEST(JitParity, RandomisedDeepTreesWithNaNInputs) {
+  // Random labels force deep, irregular trees (no stump specialisation),
+  // and NaN-poisoned inputs pin the compare encodings: cmpsd(LE) and
+  // ucomisd/jb must both send NaN right, exactly like the interpreter's
+  // !(x <= t).
+  std::mt19937_64 rng(20210721);
+  std::uniform_real_distribution<double> feature(-4.0, 4.0);
+  ml::Dataset train;
+  const std::size_t n = 240, cols = 12;
+  train.X = Matrix(n, cols);
+  train.y.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) train.X(r, c) = feature(rng);
+    train.y[r] = static_cast<int>(rng() & 1);
+  }
+  core::HmdConfig config = config_for(20);
+  core::TrustedHmd hmd(config);
+  hmd.fit(train);
+  EXPECT_LT(hmd.flat_forest().n_stumps(), hmd.flat_forest().n_trees());
+
+  Matrix x(64, cols);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < cols; ++c) x(r, c) = feature(rng);
+    if (r % 3 == 0) {  // poison a couple of features per third row
+      x(r, r % cols) = std::numeric_limits<double>::quiet_NaN();
+      x(r, (r + 5) % cols) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  expect_jit_parity(hmd, x, "random_deep_nan");
 }
 
 TEST(FlatForestParity, EveryModelKindReportsAFlatEngineTruthfully) {

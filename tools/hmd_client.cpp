@@ -32,6 +32,7 @@
 
 #include "api/score.h"
 #include "bench_common.h"
+#include "common/args.h"
 #include "common/error.h"
 #include "core/hmd.h"
 #include "core/model_artifact.h"
@@ -82,61 +83,41 @@ std::optional<core::UncertaintyMode> parse_mode(const std::string& name) {
 
 ClientArgs parse_args(int argc, char** argv) {
   ClientArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value_of = [&](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg.rfind("--connect=", 0) == 0) {
-      args.connect = value_of("--connect=");
-      if (args.connect.find(':') == std::string::npos) usage_error(arg);
-    } else if (arg.rfind("--model=", 0) == 0) {
-      args.model_key = value_of("--model=");
-    } else if (arg.rfind("--dataset=", 0) == 0) {
-      args.dataset = value_of("--dataset=");
-      if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      args.options.scale = std::atof(value_of("--scale=").c_str());
-      if (args.options.scale <= 0.0 || args.options.scale > 16.0)
-        usage_error(arg);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      args.options.n_threads = std::atoi(value_of("--threads=").c_str());
-    } else if (arg.rfind("--requests=", 0) == 0) {
-      const long long n = std::atoll(value_of("--requests=").c_str());
-      if (n < 1) usage_error(arg);
-      args.requests = static_cast<std::uint64_t>(n);
-    } else if (arg.rfind("--rows=", 0) == 0) {
-      const int n = std::atoi(value_of("--rows=").c_str());
-      if (n < 1) usage_error(arg);
-      args.rows = static_cast<std::size_t>(n);
-    } else if (arg.rfind("--connections=", 0) == 0) {
-      args.connections = std::atoi(value_of("--connections=").c_str());
-      if (args.connections < 1) usage_error(arg);
-    } else if (arg.rfind("--pipeline=", 0) == 0) {
-      args.pipeline = std::atoi(value_of("--pipeline=").c_str());
-      if (args.pipeline < 1) usage_error(arg);
-    } else if (arg.rfind("--rate=", 0) == 0) {
-      args.rate = std::atof(value_of("--rate=").c_str());
-      if (args.rate < 0.0) usage_error(arg);
-    } else if (arg.rfind("--outputs=", 0) == 0) {
-      args.outputs_name = value_of("--outputs=");
-      if (args.outputs_name == "prediction") {
-        args.outputs = api::kPredictionOnly | api::kOutTrusted;
-      } else if (args.outputs_name == "detect") {
-        args.outputs = api::kDetectionOutputs;
-      } else if (args.outputs_name == "estimate") {
-        args.outputs = api::kEstimateOutputs;
-      } else {
-        usage_error(arg);
-      }
-    } else if (arg.rfind("--mode=", 0) == 0) {
-      args.mode = parse_mode(value_of("--mode="));
-      if (!args.mode) usage_error(arg);
-    } else if (arg.rfind("--verify=", 0) == 0) {
-      args.verify_artifact = value_of("--verify=");
-    } else {
-      usage_error(arg);
+  args::Parser cli(argc, argv,
+                   [](const std::string& bad) { usage_error(bad); });
+  std::string mode_name;
+  while (cli.next()) {
+    if (cli.match("--connect", args.connect)) {
+      if (!args::parse_host_port(args.connect, /*min_port=*/1)) cli.reject();
+      continue;
     }
+    if (cli.match("--model", args.model_key)) continue;
+    if (cli.match_choice("--dataset", {"dvfs", "hpc"}, args.dataset)) continue;
+    if (cli.match_double("--scale", args.options.scale, 0.0, 16.0,
+                         /*min_exclusive=*/true)) {
+      continue;
+    }
+    if (cli.match_int("--threads", args.options.n_threads)) continue;
+    if (cli.match_int("--requests", args.requests, 1)) continue;
+    if (cli.match_int("--rows", args.rows, 1)) continue;
+    if (cli.match_int("--connections", args.connections, 1)) continue;
+    if (cli.match_int("--pipeline", args.pipeline, 1)) continue;
+    if (cli.match_double("--rate", args.rate, 0.0)) continue;
+    if (cli.match_choice("--outputs", {"prediction", "detect", "estimate"},
+                         args.outputs_name)) {
+      args.outputs = args.outputs_name == "prediction"
+                         ? (api::kPredictionOnly | api::kOutTrusted)
+                     : args.outputs_name == "detect" ? api::kDetectionOutputs
+                                                     : api::kEstimateOutputs;
+      continue;
+    }
+    if (cli.match("--mode", mode_name)) {
+      args.mode = parse_mode(mode_name);
+      if (!args.mode) cli.reject();
+      continue;
+    }
+    if (cli.match("--verify", args.verify_artifact)) continue;
+    cli.reject();
   }
   if (args.connect.empty()) usage_error("<missing --connect=HOST:PORT>");
   if (args.model_key.empty()) usage_error("<missing --model=KEY>");
@@ -149,13 +130,10 @@ int main(int argc, char** argv) {
   const ClientArgs args = parse_args(argc, argv);
 
   serve::LoadGenOptions options;
-  const auto colon = args.connect.rfind(':');
-  options.host = args.connect.substr(0, colon);
-  const int port = std::atoi(args.connect.substr(colon + 1).c_str());
-  if (options.host.empty() || port < 1 || port > 65535) {
-    usage_error("--connect=" + args.connect);
-  }
-  options.port = static_cast<std::uint16_t>(port);
+  const auto endpoint = args::parse_host_port(args.connect, /*min_port=*/1);
+  if (!endpoint) usage_error("--connect=" + args.connect);
+  options.host = endpoint->host;
+  options.port = endpoint->port;
   options.model_key = args.model_key;
   options.outputs = args.outputs;
   options.mode = args.mode;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/args.h"
 #include "common/error.h"
 #include "core/model_artifact.h"
 
@@ -108,27 +109,17 @@ struct Options {
 
 Options parse_options(int argc, char** argv, int first) {
   Options opts;
-  for (int i = first; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value_of = [&](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg.rfind("--section=", 0) == 0) {
-      opts.section = value_of("--section=");
-    } else if (arg.rfind("--offset=", 0) == 0) {
-      opts.offset = std::atoll(value_of("--offset=").c_str());
-    } else if (arg.rfind("--bit=", 0) == 0) {
-      opts.bit = std::atoi(value_of("--bit=").c_str());
-      if (opts.bit < 0 || opts.bit > 7) usage_error("bad --bit (0..7)");
-    } else if (arg.rfind("--bytes=", 0) == 0) {
-      opts.bytes = std::atoll(value_of("--bytes=").c_str());
-      if (opts.bytes < 1) usage_error("bad --bytes");
-    } else if (arg.rfind("--keep=", 0) == 0) {
-      opts.keep = std::atoll(value_of("--keep=").c_str());
-      if (opts.keep < 0) usage_error("bad --keep");
-    } else {
-      usage_error("bad argument '" + arg + "'");
-    }
+  args::Parser cli(
+      argc, argv,
+      [](const std::string& bad) { usage_error("bad argument '" + bad + "'"); },
+      first);
+  while (cli.next()) {
+    if (cli.match("--section", opts.section)) continue;
+    if (cli.match_int("--offset", opts.offset)) continue;
+    if (cli.match_int("--bit", opts.bit, 0, 7)) continue;
+    if (cli.match_int("--bytes", opts.bytes, 1)) continue;
+    if (cli.match_int("--keep", opts.keep, 0)) continue;
+    cli.reject();
   }
   return opts;
 }

@@ -76,9 +76,11 @@
 #include "api/detector_registry.h"
 #include "api/score.h"
 #include "bench_common.h"
+#include "common/args.h"
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "core/hmd.h"
+#include "jit/jit.h"
 #include "serve/server.h"
 
 namespace {
@@ -95,7 +97,8 @@ using clock_type = std::chrono::steady_clock;
       "[--threads=N] [--scale=F] [--model=rf|lr|svm] "
       "[--outputs=prediction|detect|estimate] [--refresh-ms=N] "
       "[--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N] "
-      "[--swap-with=PATH] [--mmap[=on|off]] [--sleep-ms=N]\n",
+      "[--swap-with=PATH] [--mmap[=on|off]] [--jit[=on|off|auto]] "
+      "[--sleep-ms=N]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -131,72 +134,75 @@ struct ServeArgs {
 
 ServeArgs parse_args(int argc, char** argv) {
   ServeArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value_of = [&](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg.rfind("--models=", 0) == 0) {
-      args.models_dir = value_of("--models=");
-    } else if (arg.rfind("--dataset=", 0) == 0) {
-      args.dataset = value_of("--dataset=");
-      if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
-    } else if (arg.rfind("--batches=", 0) == 0) {
-      args.batches = std::atoi(value_of("--batches=").c_str());
-      if (args.batches < 1) usage_error(arg);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      args.options.n_threads = std::atoi(value_of("--threads=").c_str());
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      args.options.scale = std::atof(value_of("--scale=").c_str());
-      if (args.options.scale <= 0.0 || args.options.scale > 16.0)
-        usage_error(arg);
-    } else if (arg.rfind("--model=", 0) == 0) {
-      args.model_filter = core::parse_model_kind(value_of("--model="));
-      if (!args.model_filter) usage_error(arg);
-    } else if (arg.rfind("--outputs=", 0) == 0) {
-      args.outputs_name = value_of("--outputs=");
-      if (args.outputs_name == "prediction") {
-        args.outputs = api::kPredictionOnly | api::kOutTrusted;
-      } else if (args.outputs_name == "detect") {
-        args.outputs = api::kDetectionOutputs;
-      } else if (args.outputs_name == "estimate") {
-        args.outputs = api::kEstimateOutputs;
+  args::Parser cli(argc, argv,
+                   [](const std::string& bad) { usage_error(bad); });
+  std::string model_name;
+  std::string toggle;
+  bool legacy_estimate = false;
+  while (cli.next()) {
+    if (cli.match("--models", args.models_dir)) continue;
+    if (cli.match_choice("--dataset", {"dvfs", "hpc"}, args.dataset)) continue;
+    if (cli.match_int("--batches", args.batches, 1)) continue;
+    if (cli.match_int("--threads", args.options.n_threads)) continue;
+    if (cli.match_double("--scale", args.options.scale, 0.0, 16.0,
+                         /*min_exclusive=*/true)) {
+      continue;
+    }
+    if (cli.match("--model", model_name)) {
+      args.model_filter = core::parse_model_kind(model_name);
+      if (!args.model_filter) cli.reject();
+      continue;
+    }
+    if (cli.match_choice("--outputs", {"prediction", "detect", "estimate"},
+                         args.outputs_name)) {
+      args.outputs = args.outputs_name == "prediction"
+                         ? (api::kPredictionOnly | api::kOutTrusted)
+                     : args.outputs_name == "detect" ? api::kDetectionOutputs
+                                                     : api::kEstimateOutputs;
+      continue;
+    }
+    if (cli.match("--listen", args.listen)) {
+      if (!args::parse_host_port(args.listen)) cli.reject();
+      continue;
+    }
+    if (cli.match_int("--refresh-ms", args.refresh_ms, 0)) continue;
+    if (cli.match_int("--refresh-every", args.refresh_every, 1)) continue;
+    if (cli.match_int("--batch-rows", args.batch_rows, 1)) continue;
+    if (cli.match_int("--batch-delay-us", args.batch_delay_us, 0)) continue;
+    if (cli.match_int("--sleep-ms", args.sleep_ms, 0)) continue;
+    if (cli.match("--swap-with", args.swap_with)) continue;
+    if (cli.match_toggle("--mmap", toggle)) {
+      if (toggle.empty() || toggle == "on") {
+        args.load_mode = core::LoadMode::kMmap;
+      } else if (toggle == "off") {
+        args.load_mode = core::LoadMode::kStream;
       } else {
-        usage_error(arg);
+        cli.reject();
       }
-    } else if (arg.rfind("--listen=", 0) == 0) {
-      args.listen = value_of("--listen=");
-      if (args.listen.find(':') == std::string::npos) usage_error(arg);
-    } else if (arg.rfind("--refresh-ms=", 0) == 0) {
-      args.refresh_ms = std::atoi(value_of("--refresh-ms=").c_str());
-      if (args.refresh_ms < 0) usage_error(arg);
-    } else if (arg.rfind("--refresh-every=", 0) == 0) {
-      args.refresh_every = std::atoi(value_of("--refresh-every=").c_str());
-      if (args.refresh_every < 1) usage_error(arg);
-    } else if (arg.rfind("--batch-rows=", 0) == 0) {
-      const int rows = std::atoi(value_of("--batch-rows=").c_str());
-      if (rows < 1) usage_error(arg);
-      args.batch_rows = static_cast<std::size_t>(rows);
-    } else if (arg.rfind("--batch-delay-us=", 0) == 0) {
-      args.batch_delay_us = std::atoi(value_of("--batch-delay-us=").c_str());
-      if (args.batch_delay_us < 0) usage_error(arg);
-    } else if (arg.rfind("--sleep-ms=", 0) == 0) {
-      args.sleep_ms = std::atoi(value_of("--sleep-ms=").c_str());
-      if (args.sleep_ms < 0) usage_error(arg);
-    } else if (arg.rfind("--swap-with=", 0) == 0) {
-      args.swap_with = value_of("--swap-with=");
-    } else if (arg == "--mmap" || arg == "--mmap=on") {
-      args.load_mode = core::LoadMode::kMmap;
-    } else if (arg == "--mmap=off") {
-      args.load_mode = core::LoadMode::kStream;
-    } else if (arg == "--estimate") {  // legacy spelling
+      continue;
+    }
+    if (cli.match_toggle("--jit", toggle)) {
+      // Process-wide policy for every engine loaded after this point:
+      // bare --jit / --jit=on forces native compilation, off pins the
+      // interpreted arena, auto restores the profitability heuristic.
+      if (toggle.empty() || toggle == "on") {
+        jit::set_policy(jit::Policy::kOn);
+      } else if (toggle == "off") {
+        jit::set_policy(jit::Policy::kOff);
+      } else if (toggle == "auto") {
+        jit::set_policy(jit::Policy::kAuto);
+      } else {
+        cli.reject();
+      }
+      continue;
+    }
+    if (cli.match_switch("--estimate", legacy_estimate)) {  // legacy spelling
       args.outputs = api::kEstimateOutputs;
       args.outputs_name = "estimate";
-    } else if (arg.rfind("--", 0) == 0) {
-      usage_error(arg);
-    } else {
-      args.artifacts.push_back(arg);
+      continue;
     }
+    if (cli.is_option()) cli.reject();
+    args.artifacts.push_back(std::string(cli.token()));
   }
   if (args.models_dir.empty() && args.artifacts.empty()) {
     usage_error("<missing --models=DIR or model.hmdf>");
@@ -217,11 +223,13 @@ struct ServedModel {
 };
 
 void describe(const std::string& key, const core::TrustedHmd& hmd) {
-  std::printf("model    %-24s %s x%d, engine %s (%zu KiB%s), threshold %.2f\n",
+  std::printf("model    %-24s %s x%d, engine %s (%zu KiB%s), kernel %s, "
+              "threshold %.2f\n",
               key.c_str(), core::model_kind_name(hmd.config().model).c_str(),
               hmd.config().n_members, hmd.engine().name().c_str(),
               hmd.engine().memory_bytes() / 1024,
               hmd.engine().zero_copy() ? ", zero-copy" : "",
+              hmd.engine().kernel_backend().c_str(),
               hmd.config().entropy_threshold);
 }
 
@@ -269,14 +277,11 @@ void on_stop_signal(int) {
 /// `--listen` mode: host the socket front-end until SIGINT/SIGTERM.
 int run_listen(const ServeArgs& args, api::DetectorRegistry& registry,
                std::size_t n_models, const char* load_mode_name) {
-  const auto colon = args.listen.rfind(':');
   serve::ServerOptions options;
-  options.host = args.listen.substr(0, colon);
-  const int port = std::atoi(args.listen.substr(colon + 1).c_str());
-  if (options.host.empty() || port < 0 || port > 65535) {
-    usage_error("--listen=" + args.listen);
-  }
-  options.port = static_cast<std::uint16_t>(port);
+  const auto endpoint = args::parse_host_port(args.listen);
+  if (!endpoint) usage_error("--listen=" + args.listen);
+  options.host = endpoint->host;
+  options.port = endpoint->port;
   options.batcher.max_batch_rows = args.batch_rows;
   options.batcher.max_delay_us = args.batch_delay_us;
   options.refresh_ms = args.effective_refresh_ms();
@@ -340,8 +345,10 @@ int run_listen(const ServeArgs& args, api::DetectorRegistry& registry,
               static_cast<unsigned long long>(stats.models_reloaded));
   for (const api::ModelHealth& entry : registry.health()) {
     std::printf(
-        "health   %-24s %s, loads ok=%llu failed=%llu retried=%llu\n",
+        "health   %-24s %s, kernel %s, loads ok=%llu failed=%llu "
+        "retried=%llu\n",
         entry.key.c_str(), api::health_state_name(entry.state),
+        entry.kernel_backend.empty() ? "-" : entry.kernel_backend.c_str(),
         static_cast<unsigned long long>(entry.loads_ok),
         static_cast<unsigned long long>(entry.loads_failed),
         static_cast<unsigned long long>(entry.retries));
@@ -515,8 +522,10 @@ int run(const ServeArgs& args) {
               static_cast<double>(total_items) / seconds);
   for (const api::ModelHealth& entry : registry.health()) {
     std::printf(
-        "health   %-24s %s, loads ok=%llu failed=%llu retried=%llu\n",
+        "health   %-24s %s, kernel %s, loads ok=%llu failed=%llu "
+        "retried=%llu\n",
         entry.key.c_str(), api::health_state_name(entry.state),
+        entry.kernel_backend.empty() ? "-" : entry.kernel_backend.c_str(),
         static_cast<unsigned long long>(entry.loads_ok),
         static_cast<unsigned long long>(entry.loads_failed),
         static_cast<unsigned long long>(entry.retries));

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "core/hmd.h"
@@ -56,37 +57,31 @@ struct TrainArgs {
 
 TrainArgs parse_args(int argc, char** argv) {
   TrainArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value_of = [&](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg.rfind("--dataset=", 0) == 0) {
-      args.dataset = value_of("--dataset=");
-      if (args.dataset != "dvfs" && args.dataset != "hpc") usage_error(arg);
-    } else if (arg.rfind("--model=", 0) == 0) {
-      const auto kind = core::parse_model_kind(value_of("--model="));
-      if (!kind) usage_error(arg);
+  args::Parser cli(argc, argv,
+                   [](const std::string& bad) { usage_error(bad); });
+  std::string model_name;
+  std::uint64_t seed = 0;
+  while (cli.next()) {
+    if (cli.match_choice("--dataset", {"dvfs", "hpc"}, args.dataset)) continue;
+    if (cli.match("--model", model_name)) {
+      const auto kind = core::parse_model_kind(model_name);
+      if (!kind) cli.reject();
       args.model = *kind;
-    } else if (arg.rfind("--members=", 0) == 0) {
-      args.options.n_members = std::atoi(value_of("--members=").c_str());
-      if (args.options.n_members < 1) usage_error(arg);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      args.options.n_threads = std::atoi(value_of("--threads=").c_str());
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      args.options.scale = std::atof(value_of("--scale=").c_str());
-      if (args.options.scale <= 0.0 || args.options.scale > 16.0)
-        usage_error(arg);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      const auto seed =
-          static_cast<std::uint64_t>(std::atoll(value_of("--seed=").c_str()));
+      continue;
+    }
+    if (cli.match_int("--members", args.options.n_members, 1)) continue;
+    if (cli.match_int("--threads", args.options.n_threads)) continue;
+    if (cli.match_double("--scale", args.options.scale, 0.0, 16.0,
+                         /*min_exclusive=*/true)) {
+      continue;
+    }
+    if (cli.match_int("--seed", seed)) {
       args.options.dvfs_seed = seed;
       args.options.hpc_seed = seed;
-    } else if (arg.rfind("--out=", 0) == 0) {
-      args.out = value_of("--out=");
-    } else {
-      usage_error(arg);
+      continue;
     }
+    if (cli.match("--out", args.out)) continue;
+    cli.reject();
   }
   return args;
 }
