@@ -296,6 +296,20 @@ void BM_RegistryLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RegistryLookup)->Arg(100);
 
+/// Steady-state cost of an unknown-key lookup: with the cuckoo-filter
+/// front door (range(0) != 0) the probe is rejected O(1) with no shard
+/// lock; with the filter off it pays the sharded-map walk. This is the
+/// per-request floor a fleet front end pays for junk keys.
+void BM_RegistryLookupMiss(benchmark::State& state) {
+  fleet::FleetOptions fleet_options;
+  fleet_options.filter = state.range(0) != 0;
+  api::DetectorRegistry registry(1, core::LoadMode::kAuto, fleet_options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.try_get("unknown_model"));
+  }
+}
+BENCHMARK(BM_RegistryLookupMiss)->Arg(1)->Arg(0);
+
 void BM_ArtifactSave(benchmark::State& state) {
   core::TrustedHmd hmd(config_for(static_cast<int>(state.range(0))));
   hmd.fit(bundle().train);
@@ -552,11 +566,15 @@ MaskedScoreRow measure_masked_score(core::ModelKind kind, int members) {
   return row;
 }
 
-/// Registry overheads: the snapshot lookup a serving loop pays per batch
-/// and the no-op refresh() a hot-swap poll pays per interval.
+/// Registry overheads: the snapshot lookup a serving loop pays per batch,
+/// the no-op refresh() a hot-swap poll pays per interval, and the
+/// unknown-key miss — through the filter front door and with the filter
+/// disabled (sharded map only).
 struct RegistryTiming {
   double lookup_ns = 0.0;
   double refresh_noop_ns = 0.0;
+  double miss_ns = 0.0;
+  double miss_unfiltered_ns = 0.0;
 };
 
 RegistryTiming measure_registry(int members) {
@@ -577,6 +595,20 @@ RegistryTiming measure_registry(int members) {
       1e9 / items_per_sec(1, [&] {
         benchmark::DoNotOptimize(registry.refresh());
       }, /*min_seconds=*/0.1);
+  timing.miss_ns =
+      1e9 / items_per_sec(1, [&] {
+        benchmark::DoNotOptimize(registry.try_get("unknown_model"));
+      }, /*min_seconds=*/0.1);
+  {
+    fleet::FleetOptions no_filter;
+    no_filter.filter = false;
+    api::DetectorRegistry unfiltered(1, core::LoadMode::kAuto, no_filter);
+    unfiltered.add("model", path);
+    timing.miss_unfiltered_ns =
+        1e9 / items_per_sec(1, [&] {
+          benchmark::DoNotOptimize(unfiltered.try_get("unknown_model"));
+        }, /*min_seconds=*/0.1);
+  }
   std::filesystem::remove(path);
   return timing;
 }
@@ -913,7 +945,7 @@ void write_summary_json(const char* path) {
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_latency\",\n");
-  std::fprintf(out, "  \"schema_version\": 6,\n");
+  std::fprintf(out, "  \"schema_version\": 7,\n");
   std::fprintf(out, "  \"n_train\": %zu,\n  \"n_test\": %zu,\n",
                bundle().train.size(), bundle().test.size());
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
@@ -986,12 +1018,15 @@ void write_summary_json(const char* path) {
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
                "  \"registry_ns\": {\"lookup\": %.1f, \"refresh_noop\": "
-               "%.1f},\n",
-               registry.lookup_ns, registry.refresh_noop_ns);
+               "%.1f, \"miss\": %.1f, \"miss_unfiltered\": %.1f},\n",
+               registry.lookup_ns, registry.refresh_noop_ns,
+               registry.miss_ns, registry.miss_unfiltered_ns);
   std::fprintf(stderr,
                "[bench_latency] registry: snapshot lookup %.0f ns, no-op "
-               "refresh %.0f ns\n",
-               registry.lookup_ns, registry.refresh_noop_ns);
+               "refresh %.0f ns, miss %.0f ns (filter) / %.0f ns "
+               "(unfiltered)\n",
+               registry.lookup_ns, registry.refresh_noop_ns,
+               registry.miss_ns, registry.miss_unfiltered_ns);
   std::fprintf(out,
                "  \"model_artifact_ms\": {\"retrain\": %.3f, \"save\": "
                "%.3f, \"load\": %.3f, \"speedup_load_vs_retrain\": %.1f},\n",

@@ -77,24 +77,66 @@ std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
       std::max<std::int64_t>(0, static_cast<std::int64_t>(ms)));
 }
 
+/// The residency ledger's idea of a detector's footprint: the flat
+/// engine's arena (which for a v2 mmap load *is* the mapped artifact
+/// payload). Floor of 1 so even an exotic zero-reporting detector stays
+/// visible to the eviction accounting.
+std::size_t resident_footprint(const core::TrustedHmd& detector) {
+  const std::size_t bytes =
+      detector.uses_flat_engine() ? detector.engine().memory_bytes() : 0;
+  return std::max<std::size_t>(1, bytes);
+}
+
 }  // namespace
 
-DetectorRegistry::DetectorRegistry(int n_threads, core::LoadMode mode)
+std::size_t DetectorRegistry::Entry::residency_evict() {
+  const std::lock_guard<std::mutex> lock(state_mutex);
+  if (detector == nullptr) return 0;  // already evicted / never loaded
+  // Lease check: a use_count above 1 means someone outside this entry
+  // holds the snapshot (an in-flight batch, a caller mid-score). New
+  // external references are only ever minted by snapshot() under this
+  // same state_mutex, so the check cannot race a fresh lease.
+  if (detector.use_count() > 1) return 0;
+  const std::size_t freed = resident_bytes;
+  detector.reset();  // unmap (last reference: the artifact drops here)
+  resident_bytes = 0;
+  ++evictions;
+  // Health history (including quarantine state and the cached error)
+  // deliberately survives eviction: a quarantined evicted key keeps
+  // failing fast on its recorded error, not on a fresh I/O probe.
+  return freed;
+}
+
+DetectorRegistry::DetectorRegistry(int n_threads, core::LoadMode mode,
+                                   fleet::FleetOptions fleet)
     : n_threads_(n_threads),
       load_mode_(mode),
       loader_([mode](const std::string& path, int threads) {
         return std::make_shared<const core::TrustedHmd>(
             core::load_model(path, threads, mode));
-      }) {}
+      }),
+      entries_(fleet.shards) {
+  if (fleet.filter) {
+    filter_ =
+        std::make_unique<fleet::DynamicCuckooFilter>(fleet.filter_options);
+  }
+  residency_.set_budget_bytes(fleet.residency_budget_bytes);
+}
 
 void DetectorRegistry::add(const std::string& key, const std::string& path) {
   HMD_REQUIRE(!key.empty(), "DetectorRegistry::add: empty key");
-  auto entry = std::make_shared<Entry>(path);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = std::make_shared<Entry>(key, path);
+  // Filter before map, and only for keys not yet present: inserting
+  // first keeps "registered implies may_contain" airtight (a concurrent
+  // contains() between the two inserts sees a filter maybe + map miss =
+  // correct "not yet registered", never a false negative). Two racing
+  // adds of the same new key can both pass the presence check and store
+  // a duplicate fingerprint — benign and bounded (see filter contract).
+  if (filter_ != nullptr && !entries_.contains(key)) filter_->insert(key);
   // Always a fresh Entry — even when the key exists. An in-flight load
   // against the old entry then publishes into an orphan the map no
   // longer reaches, so a re-point can never be clobbered by stale I/O.
-  entries_[key] = std::move(entry);
+  entries_.insert_or_assign(key, std::move(entry));
 }
 
 std::size_t DetectorRegistry::add_directory(const std::string& dir) {
@@ -118,6 +160,17 @@ std::size_t DetectorRegistry::add_directory(const std::string& dir) {
   return added;
 }
 
+bool DetectorRegistry::remove(const std::string& key) {
+  // Map first, then filter: between the two a lookup sees filter maybe +
+  // map miss = correct "not registered". The filter erase only runs for
+  // a key that was actually registered (so it can only remove a
+  // fingerprint add() inserted — erasing a never-inserted key could
+  // false-negative a colliding registered key).
+  if (!entries_.erase(key)) return false;
+  if (filter_ != nullptr) filter_->erase(key);
+  return true;
+}
+
 std::shared_ptr<const core::TrustedHmd> DetectorRegistry::snapshot(
     const Entry& entry) {
   const std::lock_guard<std::mutex> lock(entry.state_mutex);
@@ -125,10 +178,13 @@ std::shared_ptr<const core::TrustedHmd> DetectorRegistry::snapshot(
 }
 
 std::shared_ptr<DetectorRegistry::Entry> DetectorRegistry::find_entry(
-    const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : it->second;
+    std::string_view key) const {
+  return entries_.find(key);
+}
+
+void DetectorRegistry::touch(Entry& entry) const {
+  entry.last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed),
+                        std::memory_order_relaxed);
 }
 
 std::shared_ptr<const core::TrustedHmd> DetectorRegistry::attempt_load(
@@ -150,23 +206,35 @@ std::shared_ptr<const core::TrustedHmd> DetectorRegistry::attempt_load(
   }
 }
 
-void DetectorRegistry::load_entry(Entry& entry) const {
+std::shared_ptr<const core::TrustedHmd> DetectorRegistry::load_entry(
+    const std::shared_ptr<Entry>& entry) const {
   const int max_attempts = std::max(1, policy_.max_attempts);
   std::uint64_t extra_attempts = 0;
   for (int attempt = 1;; ++attempt) {
     try {
-      const ArtifactStat stat = stat_artifact(entry.path);
-      auto detector = attempt_load(entry.path);
-      const std::lock_guard<std::mutex> lock(entry.state_mutex);
-      entry.detector = std::move(detector);
-      entry.stat = stat;
-      entry.health = HealthState::kHealthy;
-      ++entry.loads_ok;
-      entry.retries += extra_attempts;
-      entry.consecutive_failures = 0;
-      return;
+      const ArtifactStat stat = stat_artifact(entry->path);
+      auto detector = attempt_load(entry->path);
+      const std::size_t bytes = resident_footprint(*detector);
+      {
+        const std::lock_guard<std::mutex> lock(entry->state_mutex);
+        entry->detector = detector;  // copy — the local one is the lease
+        entry->stat = stat;
+        entry->resident_bytes = bytes;
+        entry->health = HealthState::kHealthy;
+        ++entry->loads_ok;
+        entry->retries += extra_attempts;
+        entry->consecutive_failures = 0;
+      }
+      touch(*entry);
+      // Admit AFTER publishing, while the local `detector` copy holds
+      // use_count >= 2: the sweep this admit may trigger sees the fresh
+      // entry lease-pinned, so a brand-new load can never be evicted
+      // before its caller receives it. Lock order: manager mutex ->
+      // victim state_mutex; we hold neither here (load_mutex only).
+      residency_.admit(entry, bytes);
+      return detector;
     } catch (const std::exception& e) {
-      const LoadError error = as_load_error(entry.path, e);
+      const LoadError error = as_load_error(entry->path, e);
       if (error.transient() && attempt < max_attempts) {
         // Transient (torn publish, flaky I/O): back off and retry inside
         // this operation. The sleep holds only this entry's load_mutex —
@@ -177,20 +245,20 @@ void DetectorRegistry::load_entry(Entry& entry) const {
       }
       // Operation failed: record health (stat intentionally untouched,
       // so a later refresh() always sees a repaired file as changed).
-      const std::lock_guard<std::mutex> lock(entry.state_mutex);
-      ++entry.loads_failed;
-      entry.retries += extra_attempts;
-      ++entry.consecutive_failures;
-      entry.last_error_code = error.code();
-      entry.last_error = error.what();
+      const std::lock_guard<std::mutex> lock(entry->state_mutex);
+      ++entry->loads_failed;
+      entry->retries += extra_attempts;
+      ++entry->consecutive_failures;
+      entry->last_error_code = error.code();
+      entry->last_error = error.what();
       if (policy_.quarantine_after > 0 &&
-          entry.consecutive_failures >= policy_.quarantine_after) {
-        entry.health = HealthState::kQuarantined;
-        entry.quarantine_until =
+          entry->consecutive_failures >= policy_.quarantine_after) {
+        entry->health = HealthState::kQuarantined;
+        entry->quarantine_until =
             std::chrono::steady_clock::now() +
             std::chrono::milliseconds(std::max(0, policy_.quarantine_ms));
       } else {
-        entry.health = HealthState::kDegraded;
+        entry->health = HealthState::kDegraded;
       }
       throw error;
     }
@@ -208,22 +276,36 @@ std::shared_ptr<const core::TrustedHmd> DetectorRegistry::get(
 
 std::shared_ptr<const core::TrustedHmd> DetectorRegistry::try_get(
     const std::string& key) {
+  // Front door: a key that was never registered bounces off the filter
+  // in O(1) — shared filter lock only, no shard lock, no allocation.
+  // (No false negatives, so a registered key never takes this exit.)
+  if (filter_ != nullptr && !filter_->may_contain(key)) {
+    filter_rejects_.bump();
+    return nullptr;
+  }
   const std::shared_ptr<Entry> entry = find_entry(key);
-  if (entry == nullptr) return nullptr;
+  if (entry == nullptr) return nullptr;  // filter false positive
   // Fast path: already loaded — one leaf-lock pointer copy, no I/O
   // locks, no serialisation against loads of any key (even this one:
   // refresh() publishes the swapped detector with the same leaf lock).
-  if (auto loaded = snapshot(*entry)) return loaded;
-  // Slow path: first load. load_mutex makes it at-most-once per
-  // concurrent wave of callers of *this* key; the registry map mutex is
-  // not held, so callers of other keys proceed untouched.
+  if (auto loaded = snapshot(*entry)) {
+    touch(*entry);
+    return loaded;
+  }
+  // Slow path: first load, or a reload after eviction. load_mutex makes
+  // it at-most-once per concurrent wave of callers of *this* key; no map
+  // lock is held, so callers of other keys proceed untouched.
   const std::lock_guard<std::mutex> load_lock(entry->load_mutex);
-  if (auto loaded = snapshot(*entry)) return loaded;  // double-check
+  if (auto loaded = snapshot(*entry)) {  // double-check
+    touch(*entry);
+    return loaded;
+  }
   {
-    // Quarantine gate (never-loaded entries only; loaded ones returned
-    // above): fail fast on the cached error instead of hammering a path
-    // that just failed repeatedly. After the TTL, fall through — one
-    // real probe that either heals the entry or re-arms the quarantine.
+    // Quarantine gate (entries with no live snapshot only; loaded ones
+    // returned above): fail fast on the cached error instead of
+    // hammering a path that just failed repeatedly. After the TTL, fall
+    // through — one real probe that either heals the entry or re-arms
+    // the quarantine. An evicted quarantined entry takes this same gate.
     const std::lock_guard<std::mutex> state_lock(entry->state_mutex);
     if (entry->health == HealthState::kQuarantined &&
         std::chrono::steady_clock::now() < entry->quarantine_until) {
@@ -234,27 +316,26 @@ std::shared_ptr<const core::TrustedHmd> DetectorRegistry::try_get(
               " consecutive load failures; last: " + entry->last_error);
     }
   }
-  load_entry(*entry);
-  return snapshot(*entry);
+  return load_entry(entry);
 }
 
 std::vector<std::string> DetectorRegistry::refresh() {
-  // Snapshot the entry set first; the map lock drops before any I/O.
-  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> loaded;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    loaded.reserve(entries_.size());
-    for (const auto& [key, entry] : entries_) loaded.emplace_back(key, entry);
-  }
+  // O(resident set): the residency tracker knows exactly which entries
+  // hold a detector, so a million-key fleet refreshes by re-statting
+  // only what is actually resident. Evicted and never-loaded keys are
+  // verified lazily by their next get() (which re-stats and reloads
+  // anyway). The tracker hands out shared_ptrs, so nothing here races an
+  // entry being dropped.
   std::vector<std::string> reloaded;
-  for (auto& [key, entry] : loaded) {
-    // The lazy check runs *before* taking the load mutex: a never-loaded
-    // entry whose first get() is parked in artifact I/O holds its
-    // load_mutex, and refresh() queueing behind it would stall the
-    // hot-swap sweep of every other key.
+  for (auto& resident : residency_.residents()) {
+    auto entry = std::static_pointer_cast<Entry>(std::move(resident));
+    // Orphan check: the key may have been re-pointed (fresh Entry) or
+    // removed since this entry was admitted — its artifact no longer
+    // speaks for the key, so don't stat or reload it.
+    if (find_entry(entry->key).get() != entry.get()) continue;
     {
       const std::lock_guard<std::mutex> state_lock(entry->state_mutex);
-      if (entry->detector == nullptr) continue;  // still lazy: nothing to swap
+      if (entry->detector == nullptr) continue;  // evicted meanwhile
       // A quarantined entry is left alone until its TTL expires — no
       // stat, no load. (It keeps serving its last-good snapshot; only
       // the *replacement* probing is suppressed.)
@@ -273,8 +354,8 @@ std::vector<std::string> DetectorRegistry::refresh() {
     if (stat.bytes == 0) continue;  // vanished: keep the last good snapshot
     if (stat == last_stat) continue;
     try {
-      load_entry(*entry);
-      reloaded.push_back(key);
+      load_entry(entry);
+      reloaded.push_back(entry->key);
     } catch (const HmdError&) {
       // Unreadable or invalid replacement (a foreign writer without the
       // atomic rename discipline, or a well-formed file carrying a config
@@ -282,6 +363,9 @@ std::vector<std::string> DetectorRegistry::refresh() {
       // a later refresh() retry — the stale stat fields guarantee it will.
     }
   }
+  // The tracker iterates in address order; keep the reported keys
+  // deterministic for callers and logs.
+  std::sort(reloaded.begin(), reloaded.end());
   return reloaded;
 }
 
@@ -295,6 +379,7 @@ ModelHealth DetectorRegistry::health_of(const std::string& key,
   out.loads_ok = entry.loads_ok;
   out.loads_failed = entry.loads_failed;
   out.retries = entry.retries;
+  out.evictions = entry.evictions;
   out.consecutive_failures = entry.consecutive_failures;
   out.last_error_code = entry.last_error_code;
   out.last_error = entry.last_error;
@@ -305,15 +390,9 @@ ModelHealth DetectorRegistry::health_of(const std::string& key,
 }
 
 std::vector<ModelHealth> DetectorRegistry::health() const {
-  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> items;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    items.reserve(entries_.size());
-    for (const auto& [key, entry] : entries_) items.emplace_back(key, entry);
-  }
+  const auto items = entries_.sorted_items();
   std::vector<ModelHealth> out;
   out.reserve(items.size());
-  // Map iteration order is already key-sorted.
   for (const auto& [key, entry] : items) out.push_back(health_of(key, *entry));
   return out;
 }
@@ -327,11 +406,7 @@ ModelHealth DetectorRegistry::health(const std::string& key) const {
 }
 
 std::vector<std::string> DetectorRegistry::keys() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) out.push_back(key);
-  return out;
+  return entries_.sorted_keys();
 }
 
 std::string DetectorRegistry::path(const std::string& key) const {
@@ -342,14 +417,30 @@ std::string DetectorRegistry::path(const std::string& key) const {
   return entry->path;
 }
 
-std::size_t DetectorRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+std::size_t DetectorRegistry::size() const { return entries_.size(); }
+
+bool DetectorRegistry::contains(std::string_view key) const {
+  if (filter_ != nullptr && !filter_->may_contain(key)) {
+    filter_rejects_.bump();
+    return false;
+  }
+  return entries_.contains(key);
 }
 
-bool DetectorRegistry::contains(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.find(key) != entries_.end();
+fleet::FleetStats DetectorRegistry::fleet_stats() const {
+  fleet::FleetStats out;
+  out.keys = entries_.size();
+  out.shards = entries_.shard_count();
+  if (filter_ != nullptr) {
+    out.filter = filter_->stats();
+    out.filter.rejected = filter_rejects_.value();
+  }
+  out.residency = residency_.stats();
+  return out;
+}
+
+void DetectorRegistry::set_residency_budget_bytes(std::size_t bytes) {
+  residency_.set_budget_bytes(bytes);
 }
 
 }  // namespace hmd::api

@@ -9,21 +9,52 @@
 //     an artifact is loaded lazily on the first get() of its key.
 //   - get() is a snapshot lookup: the returned shared_ptr pins that
 //     version of the detector for as long as the caller holds it, so
-//     in-flight batches are never invalidated by a swap.
-//   - refresh() re-stats every loaded artifact and reloads the ones whose
-//     identity (inode, mtime, size) changed — the field-update story of
-//     Kuruvila et al. (arXiv:2005.03644): a retrained artifact dropped
-//     over the old file (save_model's temp-file + rename keeps that
-//     atomic, gives the replacement a fresh inode, and leaves mappings
-//     of the old inode intact for in-flight snapshots) is picked up
-//     without a restart and without dropping traffic on the old version.
-//     An artifact that went missing or unreadable keeps its last good
-//     snapshot — a registry never serves worse than it already does.
+//     in-flight batches are never invalidated by a swap (or, at fleet
+//     scale, by an eviction — see residency below).
+//   - refresh() re-stats the *resident* artifacts and reloads the ones
+//     whose identity (inode, mtime, size) changed — the field-update
+//     story of Kuruvila et al. (arXiv:2005.03644): a retrained artifact
+//     dropped over the old file (save_model's temp-file + rename keeps
+//     that atomic, gives the replacement a fresh inode, and leaves
+//     mappings of the old inode intact for in-flight snapshots) is
+//     picked up without a restart and without dropping traffic on the
+//     old version. An artifact that went missing or unreadable keeps
+//     its last good snapshot — a registry never serves worse than it
+//     already does.
 //
-// ## Locking: loads happen OUTSIDE the registry mutex
+// ## Fleet scale: sharded keys, filter front door, bounded residency
 //
-// The registry mutex only guards the key → entry map; artifact I/O never
-// runs under it. Each entry carries its own two-mutex loading state:
+// The key store is a sharded map (fleet/sharded_map.h): N independently
+// locked shards selected by key hash, so registration and first-touch
+// lookups of distinct keys never serialise behind one global mutex. In
+// front of it sits a dynamic cuckoo filter (fleet/cuckoo_filter.h):
+// get()/try_get()/contains() of a key that was never registered is
+// answered O(1) from the filter without touching any shard lock — the
+// filter has no false negatives, and its false positives merely fall
+// through to the exact map. Filter maintenance rides registration
+// (add() inserts, remove() erases); answers are always exact.
+//
+// A byte budget (FleetOptions::residency_budget_bytes, hmd_serve
+// --residency-mb) bounds how much artifact data stays resident: when a
+// load pushes the total over, the coldest unleased entries are unmapped
+// (fleet/residency.h). Eviction drops only the detector — the key stays
+// registered, its health history (including quarantine state) is kept,
+// and the next get() transparently reloads. An entry whose snapshot is
+// held by an in-flight batch is lease-pinned and never evicted.
+//
+// ## refresh() contract at fleet scale
+//
+// refresh() is O(resident set), not O(registered keys): it re-stats only
+// the entries currently holding a detector. Never-loaded keys stay lazy
+// and *evicted* keys are verified lazily instead — their next get()
+// re-stats and reloads from disk anyway, so a swap under an evicted key
+// is picked up at first use without refresh() paying a stat() per
+// registered key across a million-key fleet.
+//
+// ## Locking: loads happen OUTSIDE the map locks
+//
+// Shard locks only guard key → entry slots; artifact I/O never runs
+// under them. Each entry carries its own two-mutex loading state:
 //
 //   - `state_mutex` (leaf lock, held for pointer reads/writes only)
 //     guards the published snapshot + stat;
@@ -57,29 +88,35 @@
 //
 // A failed operation leaves the last good snapshot serving (kDegraded);
 // quarantine_after consecutive failures quarantine the entry: get() on
-// a quarantined, never-loaded key fails fast on the cached error
-// (no I/O), refresh() skips the entry entirely, and after quarantine_ms
-// the next get()/refresh() re-probes — one real load attempt that either
-// heals the entry or re-arms the quarantine. Failed loads never update
-// the recorded artifact stat, so a repaired file is always seen as
-// changed. health() exposes the whole state machine per key.
+// a quarantined key with no snapshot (never loaded, or evicted) fails
+// fast on the cached error (no I/O), refresh() skips the entry
+// entirely, and after quarantine_ms the next get()/refresh() re-probes
+// — one real load attempt that either heals the entry or re-arms the
+// quarantine. Failed loads never update the recorded artifact stat, so
+// a repaired file is always seen as changed. health() exposes the whole
+// state machine per key.
 //
 // All members are safe to call concurrently (the policy/loader setters
 // excepted; see their comments).
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.h"
 #include "core/hmd.h"
 #include "core/model_artifact.h"
+#include "fleet/cuckoo_filter.h"
+#include "fleet/fleet.h"
+#include "fleet/residency.h"
+#include "fleet/sharded_map.h"
 
 namespace hmd::api {
 
@@ -136,11 +173,14 @@ struct ModelHealth {
   std::string key;
   HealthState state = HealthState::kHealthy;
   /// True when a snapshot is being served (possibly an old one: a
-  /// degraded entry with loaded=true is serving last-good).
+  /// degraded entry with loaded=true is serving last-good). False for an
+  /// evicted entry — loads_ok > 0 with loaded == false means evicted.
   bool loaded = false;
   std::uint64_t loads_ok = 0;
   std::uint64_t loads_failed = 0;  ///< failed operations (post-retry)
   std::uint64_t retries = 0;       ///< extra attempts inside operations
+  /// Times this entry's detector was unmapped by the residency sweep.
+  std::uint64_t evictions = 0;
   int consecutive_failures = 0;
   /// Code/what() of the most recent failure; meaningful when
   /// loads_failed > 0 (last_error empty otherwise).
@@ -163,8 +203,11 @@ class DetectorRegistry {
   /// `n_threads` sizes every loaded detector's serving thread pool
   /// (<= 0 = all cores) and `mode` how artifact bytes are materialised
   /// (mmap by default for v2 artifacts), exactly like core::load_model.
+  /// `fleet` sizes the key shards, the filter front door, and the
+  /// residency budget (defaults: 16 shards, filter on, unbounded).
   explicit DetectorRegistry(int n_threads = 0,
-                            core::LoadMode mode = core::LoadMode::kAuto);
+                            core::LoadMode mode = core::LoadMode::kAuto,
+                            fleet::FleetOptions fleet = {});
 
   /// Register (or re-point) `key` at an artifact path. No I/O happens
   /// until the first get(); re-pointing an existing key installs a fresh
@@ -176,24 +219,31 @@ class DetectorRegistry {
   /// throws IoError when `dir` is not a directory.
   std::size_t add_directory(const std::string& dir);
 
-  /// Snapshot lookup. Loads the artifact on first use (with the retry /
-  /// fallback discipline in the file header); throws IoError on an
-  /// unknown key and LoadError on a failed first load — a quarantined,
-  /// never-loaded key fails fast on its cached error without touching
-  /// the filesystem. The snapshot stays valid (and bit-stable) however
-  /// many refresh() swaps happen after it.
+  /// Unregister `key` (its artifact stays on disk; in-flight snapshots
+  /// stay valid). Returns false when the key was not registered.
+  bool remove(const std::string& key);
+
+  /// Snapshot lookup. Loads the artifact on first use — and transparently
+  /// *re*loads an evicted entry — with the retry / fallback discipline in
+  /// the file header; throws IoError on an unknown key and LoadError on a
+  /// failed load — a quarantined key with no snapshot fails fast on its
+  /// cached error without touching the filesystem. The snapshot stays
+  /// valid (and bit-stable) however many refresh() swaps or evictions
+  /// happen after it.
   std::shared_ptr<const core::TrustedHmd> get(const std::string& key);
 
   /// get() that returns nullptr for unknown keys instead of throwing
-  /// (load failures still throw).
+  /// (load failures still throw). An unknown key is typically rejected by
+  /// the filter front door without touching any shard lock.
   std::shared_ptr<const core::TrustedHmd> try_get(const std::string& key);
 
-  /// Re-stat every loaded artifact and hot-swap the changed ones (see
-  /// file header). Returns the keys that were reloaded. Never-loaded
-  /// keys stay lazy; quarantined keys are skipped until their TTL
-  /// expires; vanished or unreadable artifacts keep serving their last
-  /// good snapshot. Loads run outside the registry mutex, so a refresh
-  /// never stalls get() of other keys.
+  /// Re-stat every *resident* artifact and hot-swap the changed ones
+  /// (see "refresh() contract at fleet scale" in the file header).
+  /// Returns the keys that were reloaded, sorted. Never-loaded keys stay
+  /// lazy; evicted keys verify lazily on their next get(); quarantined
+  /// keys are skipped until their TTL expires; vanished or unreadable
+  /// artifacts keep serving their last good snapshot. Loads run outside
+  /// the map locks, so a refresh never stalls get() of other keys.
   std::vector<std::string> refresh();
 
   /// Health snapshots for every key (sorted by key), or for one key
@@ -210,7 +260,19 @@ class DetectorRegistry {
   std::string path(const std::string& key) const;
 
   std::size_t size() const;
-  bool contains(const std::string& key) const;
+
+  /// Exact membership. Negative answers normally come from the filter
+  /// front door — O(1), no shard lock; positives (and filter false
+  /// positives) are confirmed against the exact map.
+  bool contains(std::string_view key) const;
+
+  /// Aggregate fleet accounting: key/shard counts, filter occupancy and
+  /// rejection tally, residency budget/evictions.
+  fleet::FleetStats fleet_stats() const;
+
+  /// Adjust the resident-artifact byte budget at runtime (0 = unbounded).
+  /// Shrinking sweeps immediately.
+  void set_residency_budget_bytes(std::size_t bytes);
 
   /// Replace the artifact loader (test seam; defaults to
   /// core::load_model with this registry's LoadMode). Call before
@@ -226,10 +288,11 @@ class DetectorRegistry {
   core::LoadMode load_mode() const { return load_mode_; }
 
  private:
-  struct Entry {
-    explicit Entry(std::string artifact_path)
-        : path(std::move(artifact_path)) {}
+  struct Entry : fleet::ResidencyManager::Resident {
+    Entry(std::string entry_key, std::string artifact_path)
+        : key(std::move(entry_key)), path(std::move(artifact_path)) {}
 
+    const std::string key;   ///< for the residency sweep / refresh()
     const std::string path;  ///< immutable; re-pointing makes a new Entry
 
     /// Serialises loads of this entry only; held across artifact I/O
@@ -241,38 +304,60 @@ class DetectorRegistry {
     mutable std::mutex state_mutex;
     ArtifactStat stat;
     std::shared_ptr<const core::TrustedHmd> detector;  ///< null until loaded
+    /// Footprint admitted to the residency tracker (meaningful while
+    /// detector != nullptr; guarded by state_mutex).
+    std::size_t resident_bytes = 0;
+
+    /// LRU use stamp (registry clock value of the last get() touch).
+    std::atomic<std::uint64_t> last_used{0};
 
     // Health state machine (all guarded by state_mutex).
     HealthState health = HealthState::kHealthy;
     std::uint64_t loads_ok = 0;
     std::uint64_t loads_failed = 0;
     std::uint64_t retries = 0;
+    std::uint64_t evictions = 0;
     int consecutive_failures = 0;
     LoadErrorCode last_error_code = LoadErrorCode::kIo;
     std::string last_error;
     /// Probes refused until this instant while health == kQuarantined.
     std::chrono::steady_clock::time_point quarantine_until{};
+
+    // fleet::ResidencyManager::Resident — victim-selection stamp and the
+    // lease-checked unmap (see detector_registry.cpp).
+    std::uint64_t residency_last_used() const override {
+      return last_used.load(std::memory_order_relaxed);
+    }
+    std::size_t residency_evict() override;
   };
 
-  /// The published snapshot (null when not yet loaded).
+  /// The published snapshot (null when not yet loaded / evicted).
   static std::shared_ptr<const core::TrustedHmd> snapshot(const Entry& entry);
 
-  /// Load entry's artifact with retry/backoff/fallback and publish it —
-  /// or record the failure (health bookkeeping, quarantine arming) and
-  /// rethrow the final LoadError. Caller holds entry.load_mutex (and no
-  /// other lock). Records the stat taken *before* the read, so a file
-  /// swapped mid-load is seen as changed by the next refresh() rather
-  /// than missed; a failed operation leaves the stat untouched, so the
-  /// next refresh() always retries a repaired file.
-  void load_entry(Entry& entry) const;
+  /// Load entry's artifact with retry/backoff/fallback, publish it, and
+  /// admit it to the residency tracker — or record the failure (health
+  /// bookkeeping, quarantine arming) and rethrow the final LoadError.
+  /// Returns the freshly loaded detector: the caller's copy is what
+  /// lease-pins the entry through the admit-triggered sweep, so a brand
+  /// new load can never be evicted before its caller sees it. Caller
+  /// holds entry->load_mutex (and no other lock). Records the stat taken
+  /// *before* the read, so a file swapped mid-load is seen as changed by
+  /// the next refresh() rather than missed; a failed operation leaves
+  /// the stat untouched, so the next refresh() always retries a repaired
+  /// file.
+  std::shared_ptr<const core::TrustedHmd> load_entry(
+      const std::shared_ptr<Entry>& entry) const;
 
   /// One physical load attempt: the registry.load failpoint, the loader,
   /// and the one-shot stream fallback on kMmapFailed.
   std::shared_ptr<const core::TrustedHmd> attempt_load(
       const std::string& path) const;
 
-  /// The entry registered under `key`, or null (brief map-lock lookup).
-  std::shared_ptr<Entry> find_entry(const std::string& key) const;
+  /// The entry registered under `key`, or null (brief shard-lock lookup).
+  std::shared_ptr<Entry> find_entry(std::string_view key) const;
+
+  /// Stamp `entry` as just-used on the registry's LRU clock.
+  void touch(Entry& entry) const;
 
   /// Fill a ModelHealth from one entry (takes the entry's leaf lock).
   static ModelHealth health_of(const std::string& key, const Entry& entry);
@@ -281,8 +366,16 @@ class DetectorRegistry {
   core::LoadMode load_mode_ = core::LoadMode::kAuto;
   Loader loader_;
   RetryPolicy policy_;
-  mutable std::mutex mutex_;  ///< guards entries_ (the map) only
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  fleet::ShardedKeyMap<std::shared_ptr<Entry>> entries_;
+  /// Null when FleetOptions::filter is off.
+  std::unique_ptr<fleet::DynamicCuckooFilter> filter_;
+  /// Striped: the front door rejects at memory speed across threads, so
+  /// the tally must not serialise them on one cache line.
+  mutable fleet::StripedCounter filter_rejects_;
+  mutable fleet::ResidencyManager residency_;
+  /// Monotonic LRU clock; each get() touch stamps its entry with the
+  /// next tick.
+  mutable std::atomic<std::uint64_t> use_clock_{0};
 };
 
 }  // namespace hmd::api

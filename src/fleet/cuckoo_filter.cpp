@@ -1,0 +1,287 @@
+#include "fleet/cuckoo_filter.h"
+
+#include <mutex>
+
+#include "common/checksum.h"
+#include "common/error.h"
+
+namespace hmd::fleet {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void prefetch_bucket(const void* bucket) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(bucket, /*rw=*/0, /*locality=*/3);
+#else
+  (void)bucket;
+#endif
+}
+
+}  // namespace
+
+DynamicCuckooFilter::DynamicCuckooFilter()
+    : DynamicCuckooFilter(Options{}) {}
+
+DynamicCuckooFilter::DynamicCuckooFilter(Options options)
+    : options_(options) {
+  HMD_REQUIRE(options_.initial_capacity > 0,
+              "DynamicCuckooFilter: initial_capacity must be positive");
+  HMD_REQUIRE(options_.max_kicks > 0,
+              "DynamicCuckooFilter: max_kicks must be positive");
+  HMD_REQUIRE(options_.max_load > 0.0 && options_.max_load <= 1.0,
+              "DynamicCuckooFilter: max_load must be in (0, 1]");
+  const std::size_t buckets = round_up_pow2(
+      (options_.initial_capacity + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  segments_[0] = std::make_unique<Segment>(buckets);
+  segment_count_.store(1, std::memory_order_release);
+  next_buckets_ = buckets * kGrowthFactor;
+}
+
+std::uint64_t DynamicCuckooFilter::hash_key(std::string_view key) {
+  return io::xxhash64(key.data(), key.size());
+}
+
+std::uint16_t DynamicCuckooFilter::fingerprint(std::uint64_t hash) {
+  // High bits — bucket indices consume the low bits, so fingerprint and
+  // home bucket stay (nearly) independent. 0 is the empty-slot marker.
+  const auto fp = static_cast<std::uint16_t>(hash >> 48);
+  return fp == 0 ? std::uint16_t{1} : fp;
+}
+
+std::size_t DynamicCuckooFilter::alt_bucket(std::size_t bucket,
+                                            std::uint16_t fp,
+                                            std::size_t mask) {
+  // spread(fp): one odd-constant multiply mixes the 16 fingerprint bits
+  // across the word so the XOR offset is well distributed at any mask
+  // width. XOR with a value independent of `bucket` keeps the involution.
+  const std::uint64_t spread =
+      static_cast<std::uint64_t>(fp) * 0x9E3779B97F4A7C15ull;
+  return bucket ^ (static_cast<std::size_t>(spread >> 32) & mask);
+}
+
+bool DynamicCuckooFilter::bucket_contains(const Slot* bucket,
+                                          std::uint16_t fp) {
+  // Semisorted descending with zeros trailing: the first slot below fp
+  // (or a zero) proves absence.
+  for (int i = 0; i < kSlotsPerBucket; ++i) {
+    const std::uint16_t slot = bucket[i].load(std::memory_order_relaxed);
+    if (slot == fp) return true;
+    if (slot < fp) return false;
+  }
+  return false;
+}
+
+bool DynamicCuckooFilter::bucket_insert(Slot* bucket, std::uint16_t fp) {
+  if (bucket[kSlotsPerBucket - 1].load(std::memory_order_relaxed) != 0) {
+    return false;  // full
+  }
+  int i = kSlotsPerBucket - 1;
+  while (i > 0) {
+    const std::uint16_t above =
+        bucket[i - 1].load(std::memory_order_relaxed);
+    if (above >= fp) break;
+    bucket[i].store(above, std::memory_order_relaxed);
+    --i;
+  }
+  bucket[i].store(fp, std::memory_order_relaxed);
+  return true;
+}
+
+bool DynamicCuckooFilter::bucket_remove(Slot* bucket, std::uint16_t fp) {
+  for (int i = 0; i < kSlotsPerBucket; ++i) {
+    const std::uint16_t slot = bucket[i].load(std::memory_order_relaxed);
+    if (slot == fp) {
+      for (int j = i; j + 1 < kSlotsPerBucket; ++j) {
+        bucket[j].store(bucket[j + 1].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      }
+      bucket[kSlotsPerBucket - 1].store(0, std::memory_order_relaxed);
+      return true;
+    }
+    if (slot < fp) return false;
+  }
+  return false;
+}
+
+bool DynamicCuckooFilter::sweep_segments(std::uint64_t hash,
+                                         std::uint16_t fp) const {
+  const std::size_t count = segment_count_.load(std::memory_order_acquire);
+  // Pass 1: kick off every candidate-bucket cache line before touching
+  // any — the sweep then pays ~one memory latency instead of 2 x count
+  // serialised ones.
+  const Slot* candidates[2 * kMaxSegments];
+  for (std::size_t i = 0; i < count; ++i) {
+    const Segment& segment = *segments_[i];
+    const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
+    const Slot* c1 = segment.bucket(b1);
+    const Slot* c2 = segment.bucket(alt_bucket(b1, fp, segment.mask));
+    prefetch_bucket(c1);
+    prefetch_bucket(c2);
+    candidates[2 * i] = c1;
+    candidates[2 * i + 1] = c2;
+  }
+  // Pass 2 (newest segments last to first — recent keys live there).
+  for (std::size_t i = count; i-- > 0;) {
+    if (bucket_contains(candidates[2 * i], fp) ||
+        bucket_contains(candidates[2 * i + 1], fp)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DynamicCuckooFilter::insert_with_kicks(Segment& segment,
+                                            std::size_t bucket,
+                                            std::uint16_t fp) {
+  journal_.clear();
+  std::size_t cur_bucket = bucket;
+  std::uint16_t cur_fp = fp;
+  for (int kick = 0; kick < options_.max_kicks; ++kick) {
+    // The bucket is full (direct placement was tried first). Displace a
+    // rotating victim slot; deterministic, and the rotation avoids
+    // re-kicking the slot just written by the previous step.
+    Slot* slots = segment.bucket(cur_bucket);
+    const int victim_slot = kick & (kSlotsPerBucket - 1);
+    const std::uint16_t victim =
+        slots[victim_slot].load(std::memory_order_relaxed);
+    bucket_remove(slots, victim);
+    bucket_insert(slots, cur_fp);
+    journal_.push_back({cur_bucket, cur_fp, victim});
+    cur_fp = victim;
+    cur_bucket = alt_bucket(cur_bucket, cur_fp, segment.mask);
+    if (bucket_insert(segment.bucket(cur_bucket), cur_fp)) return true;
+  }
+  // Chain failed: roll the journal back in reverse so every previously
+  // resident fingerprint is restored — growth must be lossless or a
+  // false negative could betray a registered key.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    bucket_remove(segment.bucket(it->bucket), it->placed);
+    bucket_insert(segment.bucket(it->bucket), it->displaced);
+  }
+  return false;
+}
+
+void DynamicCuckooFilter::insert(std::string_view key) {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint16_t fp = fingerprint(hash);
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Seqlock write window: mark the version odd so concurrent probes
+  // discard anything they read while fingerprints may be mid-kick.
+  const std::uint64_t version = version_.load(std::memory_order_relaxed);
+  version_.store(version + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  const std::size_t count = segment_count_.load(std::memory_order_relaxed);
+  bool placed = false;
+  // Direct placement, newest segment first: new keys land in the active
+  // segment; holes erased out of older segments get backfilled.
+  for (std::size_t i = count; i-- > 0 && !placed;) {
+    Segment& segment = *segments_[i];
+    const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
+    const std::size_t b2 = alt_bucket(b1, fp, segment.mask);
+    if (bucket_insert(segment.bucket(b1), fp) ||
+        bucket_insert(segment.bucket(b2), fp)) {
+      ++segment.occupied;
+      placed = true;
+    }
+  }
+  if (!placed) {
+    Segment& active = *segments_[count - 1];
+    const double load = static_cast<double>(active.occupied) /
+                        static_cast<double>(active.slots.size());
+    if (load < options_.max_load) {
+      const std::size_t b1 = static_cast<std::size_t>(hash) & active.mask;
+      if (insert_with_kicks(active, b1, fp)) {
+        ++active.occupied;
+        placed = true;
+      }
+    }
+  }
+  if (!placed) {
+    // Active segment saturated (or the kick chain gave up): stack a new
+    // segment with kGrowthFactor x the buckets and place there — two
+    // empty candidate buckets, cannot fail. Publish the pointer before
+    // the count so readers only ever see constructed segments.
+    HMD_REQUIRE(count < kMaxSegments,
+                "DynamicCuckooFilter: segment limit exceeded");
+    segments_[count] = std::make_unique<Segment>(next_buckets_);
+    next_buckets_ *= kGrowthFactor;
+    Segment& fresh = *segments_[count];
+    segment_count_.store(count + 1, std::memory_order_release);
+    const std::size_t b1 = static_cast<std::size_t>(hash) & fresh.mask;
+    bucket_insert(fresh.bucket(b1), fp);
+    ++fresh.occupied;
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  version_.store(version + 2, std::memory_order_release);
+}
+
+bool DynamicCuckooFilter::may_contain(std::string_view key) const {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint16_t fp = fingerprint(hash);
+  // Seqlock read: no lock, no RMW — sweep, then validate that no writer
+  // overlapped (a mid-kick snapshot could transiently miss a moving
+  // fingerprint, so a torn read must be retried, never trusted).
+  for (int attempt = 0; attempt < kMaxReadRetries; ++attempt) {
+    const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) continue;  // writer mid-mutation
+    const bool found = sweep_segments(hash, fp);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version_.load(std::memory_order_relaxed) == v1) return found;
+  }
+  // Write storm: resolve under the writer mutex instead of spinning.
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return sweep_segments(hash, fp);
+}
+
+bool DynamicCuckooFilter::erase(std::string_view key) {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint16_t fp = fingerprint(hash);
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  const std::uint64_t version = version_.load(std::memory_order_relaxed);
+  version_.store(version + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  const std::size_t count = segment_count_.load(std::memory_order_relaxed);
+  bool removed = false;
+  for (std::size_t i = count; i-- > 0 && !removed;) {
+    Segment& segment = *segments_[i];
+    const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
+    if (bucket_remove(segment.bucket(b1), fp) ||
+        bucket_remove(segment.bucket(alt_bucket(b1, fp, segment.mask)),
+                      fp)) {
+      --segment.occupied;
+      removed = true;
+    }
+  }
+  if (removed) size_.fetch_sub(1, std::memory_order_relaxed);
+  version_.store(version + 2, std::memory_order_release);
+  return removed;
+}
+
+FilterStats DynamicCuckooFilter::stats() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  FilterStats out;
+  out.enabled = true;
+  out.keys = size_.load(std::memory_order_relaxed);
+  out.segments = segment_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < out.segments; ++i) {
+    out.slots += segments_[i]->slots.size();
+  }
+  out.occupancy = out.slots == 0
+                      ? 0.0
+                      : static_cast<double>(out.keys) /
+                            static_cast<double>(out.slots);
+  // Two buckets x 4 slots probed per segment, each slot matching a
+  // uniform 16-bit fingerprint with probability 2^-16.
+  out.fp_bound = static_cast<double>(out.segments) * 8.0 / 65536.0;
+  return out;
+}
+
+}  // namespace hmd::fleet

@@ -1,0 +1,218 @@
+#pragma once
+// Dynamic cuckoo filter — the registry's O(1) negative-lookup front door.
+//
+// An approximate membership filter over string keys with NO false
+// negatives: may_contain() returning false proves the key was never
+// inserted (or was erased), so a fleet-scale registry can reject a
+// lookup for a never-trained key without touching any shard lock. False
+// positives merely fall through to the exact sharded map, which answers
+// "no" authoritatively — correctness never depends on the filter.
+//
+// ## Layout: partial-key cuckoo hashing over semisorted buckets
+//
+// Each key is reduced to a 16-bit nonzero fingerprint (the high bits of
+// its 64-bit xxhash; 0 is reserved for "empty slot"). Fingerprints live
+// in 4-slot buckets kept *semisorted* — occupied slots descending, empty
+// slots trailing — so a probe can stop at the first slot smaller than
+// the probed fingerprint and an insert is a short insertion sort, both
+// branch-friendly over a single cache line (4 x 16 bit = 8 bytes).
+//
+// Every fingerprint has exactly two candidate buckets per segment:
+//
+//   b1 = hash(key) & mask
+//   b2 = b1 ^ (spread(fingerprint) & mask)
+//
+// The XOR form is an involution — b1 is recoverable from (b2, fp) — so a
+// stored fingerprint can be *kicked* to its alternate bucket without
+// knowing the original key (partial-key cuckoo hashing, Fan et al.).
+//
+// ## Growth: stacked segments, lossless kicks
+//
+// A classic cuckoo filter has fixed capacity. Here the filter grows as
+// the keyspace does, holding a bounded false-positive rate: when the
+// newest ("active") segment is ~max_load full or a kick chain exceeds
+// max_kicks, a new segment with 4x the buckets is stacked on top. Old
+// segments become read-mostly (probes and erases only; inserts prefer
+// newer segments, backfilling slots freed by erase). A probe checks two
+// buckets per segment, so with S segments the false-positive bound is
+// ~ S * 8 / 2^16; quadrupling keeps S ~ log4 of the keyspace — a
+// million keys from the default capacity is 5 segments (~0.06% FP) and
+// ten candidate buckets per probe. A probe prefetches every candidate
+// bucket across all segments before examining any, so the sweep costs
+// about one memory latency, not S serialized ones.
+//
+// Kicks are journaled and rolled back when a chain fails, then the
+// insert lands in a fresh segment instead — an insert NEVER drops a
+// resident fingerprint, which is what makes "no false negatives" a hard
+// invariant rather than a probabilistic one.
+//
+// ## Concurrency: seqlock reads, mutex writes
+//
+// may_contain() takes NO lock at all: slots are relaxed atomics and a
+// probe runs under a seqlock — read the version counter, sweep the
+// candidate buckets, re-read the counter, retry if a writer intervened
+// (a mid-kick snapshot could transiently miss a moving fingerprint, so
+// torn reads must be discarded, never trusted). The read path performs
+// zero RMW operations and touches no shared cache line in write mode,
+// so negative lookups scale linearly with probing threads — a
+// shared_mutex reader count would serialise them all on one line.
+// Writers (insert/erase) serialise on a plain mutex and bracket their
+// mutations with version bumps. Segments are published via an atomic
+// count over a fixed pointer array, so readers never observe a
+// reallocating container. A reader that keeps losing to a write storm
+// falls back to the writer mutex after a bounded number of retries.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace hmd::fleet {
+
+/// Point-in-time filter statistics (see DynamicCuckooFilter::stats).
+/// `rejected` is owned by whoever fronts the filter (the registry counts
+/// lookups it answered negatively without a shard probe).
+struct FilterStats {
+  bool enabled = false;
+  std::size_t keys = 0;      ///< fingerprints resident
+  std::size_t slots = 0;     ///< total slot capacity across segments
+  std::size_t segments = 0;  ///< stacked growth segments
+  double occupancy = 0.0;    ///< keys / slots
+  double fp_bound = 0.0;     ///< ~segments * 8 / 2^16 upper estimate
+  std::uint64_t rejected = 0;
+};
+
+class DynamicCuckooFilter {
+ public:
+  struct Options {
+    /// Slot capacity of the first segment (rounded up to a power-of-two
+    /// bucket count; 4 slots per bucket). Growth quadruples from here.
+    std::size_t initial_capacity = 4096;
+    /// Kick-chain length before the insert gives up, rolls the chain
+    /// back, and grows a new segment instead.
+    int max_kicks = 192;
+    /// Active-segment load factor beyond which inserts grow rather than
+    /// kick (semisorted 4-slot buckets stay healthy to ~0.95).
+    double max_load = 0.94;
+  };
+
+  // Two constructors instead of one defaulted `Options options = {}`
+  // argument: GCC parses a nested aggregate's member initializers only
+  // at the end of the outermost class, so the braced default cannot be
+  // formed here (PR 96645).
+  DynamicCuckooFilter();
+  explicit DynamicCuckooFilter(Options options);
+
+  /// Record `key`. Duplicate inserts of the same key are permitted and
+  /// store duplicate fingerprints (each erase removes one); the registry
+  /// only duplicates on a benign add()-race, so the waste is bounded.
+  void insert(std::string_view key);
+
+  /// False => `key` was definitely never inserted (or has been erased).
+  /// True => probably present; the caller must confirm against exact
+  /// state. Lock-free: a seqlock-validated probe with no RMW — see the
+  /// concurrency note in the file header.
+  bool may_contain(std::string_view key) const;
+
+  /// Remove one stored fingerprint matching `key`. Returns false when no
+  /// matching fingerprint is resident (erasing a never-inserted key is a
+  /// no-op, never corruption). Only erase keys that were inserted:
+  /// erasing a colliding never-inserted key could false-negative its
+  /// collision partner — same contract as any cuckoo filter.
+  bool erase(std::string_view key);
+
+  /// Fingerprints resident (== inserts - successful erases).
+  std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  FilterStats stats() const;
+
+ private:
+  static constexpr int kSlotsPerBucket = 4;
+  /// Growth factor per stacked segment (see file header: 4x keeps the
+  /// segment count — and with it both probe cost and the FP bound —
+  /// at log4 of the keyspace).
+  static constexpr std::size_t kGrowthFactor = 4;
+  /// Fixed segment-slot array so readers never chase a reallocating
+  /// container. 4x growth from the minimum capacity overflows size_t
+  /// long before this bound.
+  static constexpr std::size_t kMaxSegments = 32;
+  /// Seqlock read attempts before a reader gives up racing writers and
+  /// takes the writer mutex instead.
+  static constexpr int kMaxReadRetries = 64;
+
+  using Slot = std::atomic<std::uint16_t>;
+
+  /// One growth segment: a flat fingerprint array of `buckets()`
+  /// semisorted 4-slot buckets, power-of-two sized. Slots are relaxed
+  /// atomics — the seqlock orders them; the atomics only make the racy
+  /// reads defined.
+  struct Segment {
+    explicit Segment(std::size_t bucket_count)
+        : slots(bucket_count * kSlotsPerBucket), mask(bucket_count - 1) {}
+
+    std::vector<Slot> slots;  ///< value-initialised: all empty
+    std::size_t mask = 0;     ///< bucket_count - 1
+    std::size_t occupied = 0; ///< writer-mutex only
+
+    std::size_t buckets() const { return mask + 1; }
+    Slot* bucket(std::size_t index) {
+      return slots.data() + index * kSlotsPerBucket;
+    }
+    const Slot* bucket(std::size_t index) const {
+      return slots.data() + index * kSlotsPerBucket;
+    }
+  };
+
+  /// One journaled displacement of a kick chain (for rollback).
+  struct Kick {
+    std::size_t bucket = 0;
+    std::uint16_t placed = 0;    ///< fingerprint the step wrote
+    std::uint16_t displaced = 0; ///< fingerprint the step evicted
+  };
+
+  static std::uint64_t hash_key(std::string_view key);
+  static std::uint16_t fingerprint(std::uint64_t hash);
+  /// The partner bucket of `bucket` for `fp` within a segment of
+  /// `mask + 1` buckets. An involution: alt(alt(b)) == b.
+  static std::size_t alt_bucket(std::size_t bucket, std::uint16_t fp,
+                                std::size_t mask);
+
+  static bool bucket_contains(const Slot* bucket, std::uint16_t fp);
+  /// Insert `fp` keeping the bucket semisorted; false when full.
+  static bool bucket_insert(Slot* bucket, std::uint16_t fp);
+  /// Remove one copy of `fp` keeping the bucket semisorted.
+  static bool bucket_remove(Slot* bucket, std::uint16_t fp);
+
+  /// One unvalidated sweep of every segment's candidate buckets
+  /// (prefetch pass, then probe pass). Only meaningful under the seqlock
+  /// check or the writer mutex.
+  bool sweep_segments(std::uint64_t hash, std::uint16_t fp) const;
+
+  /// Kick-chain insert into the active segment; rolls back and returns
+  /// false when the chain exceeds max_kicks. Caller holds the writer
+  /// mutex inside a version window.
+  bool insert_with_kicks(Segment& segment, std::size_t bucket,
+                         std::uint16_t fp);
+
+  Options options_;
+  /// Serialises insert/erase (and stats); never taken by a successful
+  /// seqlock read.
+  mutable std::mutex writer_mutex_;
+  /// Seqlock generation: odd while a writer is mutating slots.
+  std::atomic<std::uint64_t> version_{0};
+  std::array<std::unique_ptr<Segment>, kMaxSegments> segments_;
+  /// Published segment count; segments_[i] for i < count are immutable
+  /// pointers to fully constructed segments.
+  std::atomic<std::size_t> segment_count_{0};
+  std::size_t next_buckets_ = 0;  ///< bucket count of the next segment
+  std::atomic<std::size_t> size_{0};
+  std::vector<Kick> journal_;  ///< kick scratch, reused across inserts
+};
+
+}  // namespace hmd::fleet

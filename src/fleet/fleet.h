@@ -1,0 +1,86 @@
+#pragma once
+// Fleet subsystem façade: the knobs and stats the registry surfaces.
+//
+// The fleet layer is three independent pieces the registry composes —
+// a sharded exact key map (sharded_map.h), a dynamic cuckoo-filter
+// front door (cuckoo_filter.h), and a bounded-residency manager
+// (residency.h). FleetOptions is how a constructor caller sizes them;
+// FleetStats is the aggregate health() / hmd_serve summary view.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "fleet/cuckoo_filter.h"
+#include "fleet/residency.h"
+
+namespace hmd::fleet {
+
+/// A cache-line-striped event counter for hot paths every thread hits.
+/// One shared atomic would ping-pong its line between every prober (the
+/// filter front door rejects millions of lookups per second across
+/// threads); striping by thread identity keeps each bump core-local.
+/// value() is a relaxed sum — monotonic and exact once writers quiesce,
+/// approximate mid-flight, which is all a stats counter needs.
+class StripedCounter {
+ public:
+  void bump() {
+    stripes_[stripe_index()].value.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Stripe& stripe : stripes_) {
+      sum += stripe.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;  // power of two
+
+  static std::size_t stripe_index() {
+    // Hashed once per call; thread::id hashing is a handful of ALU ops,
+    // far cheaper than a contended fetch_add.
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+           (kStripes - 1);
+  }
+
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Construction-time sizing for a fleet-scale registry. The defaults
+/// reproduce a "small fleet" profile: 16 shards, filter on, unbounded
+/// residency (no eviction) — existing two-argument registry callers see
+/// no behavioural change beyond the lock split.
+struct FleetOptions {
+  /// Independently-locked key shards (rounded up to a power of two).
+  std::size_t shards = 16;
+  /// Front the exact map with the cuckoo filter: negative get()/contains()
+  /// answered O(1) without touching a shard lock.
+  bool filter = true;
+  /// A registry-sized first segment (128 KiB of slots — noise for a
+  /// serving process): a million-key fleet then stacks only ~3 segments,
+  /// keeping both the probe's bucket sweep and the FP bound low. The
+  /// filter class's own smaller default stays put so growth paths get
+  /// exercised by tests constructing filters directly.
+  DynamicCuckooFilter::Options filter_options = {.initial_capacity = 65536};
+  /// Resident-artifact byte budget; 0 = unbounded (never evict).
+  std::size_t residency_budget_bytes = 0;
+};
+
+/// Point-in-time fleet accounting (see DetectorRegistry::fleet_stats).
+struct FleetStats {
+  std::size_t keys = 0;    ///< registered keys (exact map size)
+  std::size_t shards = 0;  ///< key-map shard count
+  FilterStats filter;      ///< enabled=false when the filter is off
+  ResidencyStats residency;
+};
+
+}  // namespace hmd::fleet

@@ -35,7 +35,10 @@ void MicroBatcher::enqueue(std::uint64_t conn_id, std::uint32_t request_id,
 
   // Reject unscorable requests before they can touch a queue: an unknown
   // key must not delay (or be delayed by) queued work for real models.
-  if (!registry_.contains(std::string(model_key))) {
+  // The registry answers the common never-registered case straight from
+  // its cuckoo-filter front door — no shard lock, no key allocation — so
+  // a flood of bogus keys cannot contend with real lookups.
+  if (!registry_.contains(model_key)) {
     ++stats_.errors;
     on_error_(item, wire::ErrorCode::kUnknownModel,
               "unknown model key '" + std::string(model_key) + "'");

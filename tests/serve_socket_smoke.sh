@@ -124,6 +124,23 @@ grep -q "unknown-model" <<<"$out" || {
 kill -0 "$server_pid" 2>/dev/null || {
   echo "FAIL: server died on bad traffic" >&2; exit 1; }
 
+# Leg 4b: bogus-key flood. Unknown keys now bounce off the registry's
+# cuckoo-filter front door (no shard lock, no load attempt), but the
+# wire contract must not move: every distinct bogus key still yields the
+# same typed unknown-model error frames, and the server keeps serving.
+for bogus in ghost_0 ghost_1 ghost_2 ghost_3; do
+  rc=0
+  out=$("$client_bin" "${connect[@]}" --model="$bogus" --requests=5) || rc=$?
+  [ "$rc" -eq 1 ] || {
+    echo "FAIL: flood key $bogus must exit 1, got $rc" >&2; exit 1; }
+  grep -q "unknown-model" <<<"$out" || {
+    echo "FAIL: flood key $bogus lost the typed error" >&2; exit 1; }
+done
+out=$("$client_bin" "${connect[@]}" --model=dvfs_RF_M5 --requests=20 \
+    --verify="$models/dvfs_RF_M5.hmdf")
+grep -q "parity   ok" <<<"$out" || {
+  echo "FAIL: serving broke after the bogus-key flood" >&2; exit 1; }
+
 # Leg 5: publish the replacement over the RF artifact (temp + rename,
 # the atomic-publish idiom) and require a --verify run against the NEW
 # artifact to reach bit-parity within the 200 ms refresh cadence.
@@ -181,5 +198,16 @@ for key in dvfs_RF_M5 dvfs_LR_M5; do
     cat "$workdir/server.log" >&2
     exit 1; }
 done
+# Fleet summary: the filter front door must report the bogus-key flood
+# as rejects, and the residency line must account for both models.
+grep -Eq "^fleet    2 key\(s\) in [0-9]+ shard\(s\), filter .* reject\(s\)" \
+    "$workdir/server.log" || {
+  echo "FAIL: missing or malformed fleet summary" >&2
+  cat "$workdir/server.log" >&2
+  exit 1; }
+grep -Eq "^resident .* across 2 model\(s\)" "$workdir/server.log" || {
+  echo "FAIL: missing or malformed residency summary" >&2
+  cat "$workdir/server.log" >&2
+  exit 1; }
 
 echo "serve_socket_smoke: OK"

@@ -432,6 +432,43 @@ TEST_F(WireSocketTest, SurvivableErrorThenValidRequestOnSameConnection) {
   ::close(fd);
 }
 
+// Unknown-model requests are rejected by the registry's cuckoo-filter
+// front door (no shard lock, no load attempt) — but the wire contract
+// must not move: every bogus key still gets the same typed survivable
+// kUnknownModel error frame with its request id and detail string, and
+// the connection keeps serving afterwards.
+TEST_F(WireSocketTest, UnknownModelFloodKeepsTypedErrorAndConnection) {
+  const Matrix& x = test::small_dvfs().test.X;
+  const int fd = connect_client();
+  std::vector<unsigned char> bytes;
+  std::vector<unsigned char> storage;
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::string key = "bogus_" + std::to_string(i);
+    bytes.clear();
+    serve::wire::append_request(bytes, 1000 + i, key, api::kDetectionOutputs,
+                                std::nullopt, x.row_ptr(0), 1, x.cols());
+    send_all(fd, bytes);
+    const Frame frame = read_frame(fd, storage);
+    ASSERT_EQ(frame.type, FrameType::kError) << "key " << key;
+    EXPECT_EQ(frame.error.request_id, 1000u + i);
+    EXPECT_EQ(frame.error.code, ErrorCode::kUnknownModel);
+    EXPECT_EQ(frame.error.detail, "unknown model key '" + key + "'");
+  }
+  const auto stats = registry_->fleet_stats();
+  EXPECT_GE(stats.filter.rejected, 1u);  // front door actually engaged
+
+  // The flood left the connection and the known model untouched.
+  bytes.clear();
+  serve::wire::append_request(bytes, 2000, "m", api::kDetectionOutputs,
+                              std::nullopt, x.row_ptr(0), 1, x.cols());
+  send_all(fd, bytes);
+  const Frame frame = read_frame(fd, storage);
+  ASSERT_EQ(frame.type, FrameType::kScoreResult);
+  EXPECT_EQ(frame.result.request_id, 2000u);
+  ::close(fd);
+}
+
 TEST_F(WireSocketTest, FatalErrorAnswersThenCloses) {
   const int fd = connect_client();
   std::vector<unsigned char> garbage(serve::wire::kHeaderBytes, 0);

@@ -52,12 +52,21 @@
 // servable / fatal load error. HMD_FAILPOINTS (common/failpoint.h) is
 // honoured for fault-injection drills.
 //
+// Fleet-scale knobs: --residency-mb=N bounds how many artifact bytes stay
+// resident (the registry evicts the coldest unleased models past the
+// budget and transparently reloads them on next use; 0 = unbounded) and
+// --filter=off disables the cuckoo-filter front door that rejects
+// unknown-model lookups without touching a shard lock. Both modes print
+// `fleet`/`resident` summary lines with filter occupancy and eviction
+// counters, and each `health` line carries the entry's eviction tally.
+//
 // usage: hmd_serve [--models=DIR] [model.hmdf ...] [--listen=HOST:PORT]
 //                  [--dataset=dvfs|hpc] [--batches=N] [--threads=N]
 //                  [--scale=F] [--model=rf|lr|svm]
 //                  [--outputs=prediction|detect|estimate] [--refresh-ms=N]
 //                  [--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N]
 //                  [--swap-with=PATH] [--mmap[=on|off]] [--sleep-ms=N]
+//                  [--residency-mb=N] [--filter[=on|off]]
 
 #include <csignal>
 
@@ -98,7 +107,7 @@ using clock_type = std::chrono::steady_clock;
       "[--outputs=prediction|detect|estimate] [--refresh-ms=N] "
       "[--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N] "
       "[--swap-with=PATH] [--mmap[=on|off]] [--jit[=on|off|auto]] "
-      "[--sleep-ms=N]\n",
+      "[--sleep-ms=N] [--residency-mb=N] [--filter[=on|off]]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -119,6 +128,8 @@ struct ServeArgs {
   api::OutputMask outputs = api::kDetectionOutputs;
   std::string outputs_name = "detect";
   core::LoadMode load_mode = core::LoadMode::kAuto;
+  int residency_mb = 0;  ///< resident-artifact budget; 0 = unbounded
+  bool filter = true;    ///< cuckoo-filter front door for unknown keys
   bench::BenchOptions options;
 
   /// The effective wall-clock cadence: --refresh-ms wins; the legacy
@@ -170,6 +181,17 @@ ServeArgs parse_args(int argc, char** argv) {
     if (cli.match_int("--batch-rows", args.batch_rows, 1)) continue;
     if (cli.match_int("--batch-delay-us", args.batch_delay_us, 0)) continue;
     if (cli.match_int("--sleep-ms", args.sleep_ms, 0)) continue;
+    if (cli.match_int("--residency-mb", args.residency_mb, 0)) continue;
+    if (cli.match_toggle("--filter", toggle)) {
+      if (toggle.empty() || toggle == "on") {
+        args.filter = true;
+      } else if (toggle == "off") {
+        args.filter = false;
+      } else {
+        cli.reject();
+      }
+      continue;
+    }
     if (cli.match("--swap-with", args.swap_with)) continue;
     if (cli.match_toggle("--mmap", toggle)) {
       if (toggle.empty() || toggle == "on") {
@@ -267,6 +289,41 @@ void report_health_changes(const api::DetectorRegistry& registry,
   }
 }
 
+/// End-of-run fleet accounting: key/shard spread, filter occupancy and
+/// front-door rejections, residency budget vs resident set and eviction
+/// counters. One line each, machine-greppable like the other summaries.
+void print_fleet_summary(const api::DetectorRegistry& registry) {
+  const fleet::FleetStats stats = registry.fleet_stats();
+  if (stats.filter.enabled) {
+    std::printf(
+        "fleet    %zu key(s) in %zu shard(s), filter %zu fingerprint(s) in "
+        "%zu segment(s) (occupancy %.2f, fp-bound %.3f%%), %llu unknown-key "
+        "reject(s)\n",
+        stats.keys, stats.shards, stats.filter.keys, stats.filter.segments,
+        stats.filter.occupancy, 100.0 * stats.filter.fp_bound,
+        static_cast<unsigned long long>(stats.filter.rejected));
+  } else {
+    std::printf("fleet    %zu key(s) in %zu shard(s), filter off\n",
+                stats.keys, stats.shards);
+  }
+  const fleet::ResidencyStats& res = stats.residency;
+  if (res.budget_bytes > 0) {
+    std::printf(
+        "resident %zu/%zu KiB across %zu model(s), %llu admit(s), %llu "
+        "eviction(s) (%zu KiB), %llu pinned skip(s)\n",
+        res.resident_bytes / 1024, res.budget_bytes / 1024,
+        res.resident_entries, static_cast<unsigned long long>(res.admits),
+        static_cast<unsigned long long>(res.evictions),
+        static_cast<std::size_t>(res.evicted_bytes / 1024),
+        static_cast<unsigned long long>(res.pinned_skips));
+  } else {
+    std::printf("resident %zu KiB across %zu model(s), unbounded, %llu "
+                "admit(s)\n",
+                res.resident_bytes / 1024, res.resident_entries,
+                static_cast<unsigned long long>(res.admits));
+  }
+}
+
 serve::ScoreServer* g_server = nullptr;
 
 void on_stop_signal(int) {
@@ -346,18 +403,25 @@ int run_listen(const ServeArgs& args, api::DetectorRegistry& registry,
   for (const api::ModelHealth& entry : registry.health()) {
     std::printf(
         "health   %-24s %s, kernel %s, loads ok=%llu failed=%llu "
-        "retried=%llu\n",
+        "retried=%llu evicted=%llu\n",
         entry.key.c_str(), api::health_state_name(entry.state),
         entry.kernel_backend.empty() ? "-" : entry.kernel_backend.c_str(),
         static_cast<unsigned long long>(entry.loads_ok),
         static_cast<unsigned long long>(entry.loads_failed),
-        static_cast<unsigned long long>(entry.retries));
+        static_cast<unsigned long long>(entry.retries),
+        static_cast<unsigned long long>(entry.evictions));
   }
+  print_fleet_summary(registry);
   return 0;
 }
 
 int run(const ServeArgs& args) {
-  api::DetectorRegistry registry(args.options.n_threads, args.load_mode);
+  fleet::FleetOptions fleet_options;
+  fleet_options.filter = args.filter;
+  fleet_options.residency_budget_bytes =
+      static_cast<std::size_t>(args.residency_mb) * 1024 * 1024;
+  api::DetectorRegistry registry(args.options.n_threads, args.load_mode,
+                                 fleet_options);
   if (!args.models_dir.empty()) {
     const std::size_t found = registry.add_directory(args.models_dir);
     std::printf("registry scanned %s: %zu artifact(s)\n",
@@ -523,13 +587,15 @@ int run(const ServeArgs& args) {
   for (const api::ModelHealth& entry : registry.health()) {
     std::printf(
         "health   %-24s %s, kernel %s, loads ok=%llu failed=%llu "
-        "retried=%llu\n",
+        "retried=%llu evicted=%llu\n",
         entry.key.c_str(), api::health_state_name(entry.state),
         entry.kernel_backend.empty() ? "-" : entry.kernel_backend.c_str(),
         static_cast<unsigned long long>(entry.loads_ok),
         static_cast<unsigned long long>(entry.loads_failed),
-        static_cast<unsigned long long>(entry.retries));
+        static_cast<unsigned long long>(entry.retries),
+        static_cast<unsigned long long>(entry.evictions));
   }
+  print_fleet_summary(registry);
   return swap_verified ? 0 : 1;
 }
 

@@ -9,6 +9,14 @@
 //
 // usage: hmd_train [--dataset=dvfs|hpc] [--model=rf|lr|svm] [--members=N]
 //                  [--threads=N] [--scale=F] [--seed=N] [--out=PATH]
+//                  [--fleet=N --fleet-dir=DIR [--fleet-copy]]
+//
+// --fleet=N clones the verified artifact into DIR as N per-member keys
+// (`<stem>_0000.hmdf` ...), the synthetic-fleet generator behind
+// hmd_serve's fleet-scale knobs and bench_fleet: one real training run,
+// N registrable artifacts. Clones are hard links by default (byte-
+// identical, near-zero disk); --fleet-copy forces independent byte
+// copies (each clone its own inode — what an eviction/RSS drill wants).
 //
 // Exit codes: 0 success, 1 runtime failure (training / verification),
 // 2 usage, 3 load or integrity error (a corrupt dataset cache or a
@@ -43,7 +51,7 @@ double ms_since(clock_type::time_point start) {
                "hmd_train: bad argument '%s'\n"
                "usage: hmd_train [--dataset=dvfs|hpc] [--model=rf|lr|svm] "
                "[--members=N] [--threads=N] [--scale=F] [--seed=N] "
-               "[--out=PATH]\n",
+               "[--out=PATH] [--fleet=N --fleet-dir=DIR [--fleet-copy]]\n",
                flag.c_str());
   std::exit(2);
 }
@@ -53,6 +61,9 @@ struct TrainArgs {
   core::ModelKind model = core::ModelKind::kRandomForest;
   bench::BenchOptions options;
   std::string out;
+  int fleet = 0;  ///< synthetic-fleet clone count; 0 = off
+  std::string fleet_dir;
+  bool fleet_copy = false;  ///< byte copies instead of hard links
 };
 
 TrainArgs parse_args(int argc, char** argv) {
@@ -81,9 +92,46 @@ TrainArgs parse_args(int argc, char** argv) {
       continue;
     }
     if (cli.match("--out", args.out)) continue;
+    if (cli.match_int("--fleet", args.fleet, 1)) continue;
+    if (cli.match("--fleet-dir", args.fleet_dir)) continue;
+    if (cli.match_switch("--fleet-copy", args.fleet_copy)) continue;
     cli.reject();
   }
+  if ((args.fleet > 0) != !args.fleet_dir.empty()) {
+    usage_error("--fleet and --fleet-dir must be given together");
+  }
   return args;
+}
+
+/// Clone the verified artifact into `dir` as `fleet` per-member keys.
+/// One real training run fans out into a registrable synthetic fleet:
+/// every clone is byte-identical to the verified original, so anything
+/// served from a clone is served from verified bytes. Hard links keep
+/// the fan-out near-free; --fleet-copy gives each clone its own inode
+/// (and pages) for eviction / RSS drills.
+std::size_t generate_fleet(const std::string& artifact,
+                           const std::string& dir, int fleet, bool copy) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const std::string stem = fs::path(artifact).stem().string();
+  char suffix[32];
+  std::size_t written = 0;
+  for (int i = 0; i < fleet; ++i) {
+    std::snprintf(suffix, sizeof(suffix), "_%04d.hmdf", i);
+    const fs::path clone = fs::path(dir) / (stem + suffix);
+    fs::remove(clone);  // re-runs must not trip on last time's fleet
+    if (copy) {
+      fs::copy_file(artifact, clone);
+    } else {
+      std::error_code ec;
+      fs::create_hard_link(artifact, clone, ec);
+      // Cross-device DIR (or a filesystem without links): degrade to a
+      // byte copy rather than failing the fleet.
+      if (ec) fs::copy_file(artifact, clone);
+    }
+    ++written;
+  }
+  return written;
 }
 
 int run(TrainArgs args) {
@@ -142,6 +190,15 @@ int run(TrainArgs args) {
               "retraining), %zu/%zu estimates bit-identical\n",
               args.out.c_str(), load_ms, fit_ms / load_ms, want.size(),
               want.size());
+
+  if (args.fleet > 0) {
+    start = clock_type::now();
+    const std::size_t cloned = generate_fleet(args.out, args.fleet_dir,
+                                              args.fleet, args.fleet_copy);
+    std::printf("fleet    %zu %s of %s in %s: %.1f ms\n", cloned,
+                args.fleet_copy ? "copy(ies)" : "hard link(s)",
+                args.out.c_str(), args.fleet_dir.c_str(), ms_since(start));
+  }
   return 0;
 }
 
