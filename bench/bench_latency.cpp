@@ -16,7 +16,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -885,6 +888,102 @@ std::vector<JitSeriesRow> measure_jit_series() {
   return rows;
 }
 
+/// Schema v8: the two-tier accuracy series. Fast- vs exact-tier score()
+/// under the full Estimate mask with the soft-entropy mode — the only
+/// request shape whose fill stage pays per-element transcendentals, i.e.
+/// where the vectorised vmath kernels can show up at all. Rows are
+/// band-gated the way the jit series is parity-gated: integer columns
+/// must match the exact tier bit for bit and every double column must
+/// sit inside the documented contract band (8 ULP or 1e-12 absolute,
+/// the same tolerance hmd_client --verify uses); a row outside the band
+/// is refused rather than recorded as a speedup.
+struct AccuracyTierRow {
+  std::string model;
+  int members = 0;
+  std::size_t batch_rows = 0;
+  double exact = 0.0;  ///< score(kEstimateOutputs, kExact) items/sec
+  double fast = 0.0;   ///< score(kEstimateOutputs, kFast) items/sec
+  bool band_ok = false;
+};
+
+bool within_contract_band(const api::ScoreResult& exact,
+                          const api::ScoreResult& fast) {
+  if (exact.rows != fast.rows) return false;
+  const auto rank = [](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return (bits >> 63) ? ~bits : (bits | 0x8000000000000000ull);
+  };
+  const auto close = [&](const std::vector<double>& a,
+                         const std::vector<double>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] == b[i]) continue;
+      if (std::abs(a[i] - b[i]) <= 1e-12) continue;
+      const std::uint64_t ra = rank(a[i]), rb = rank(b[i]);
+      if ((ra > rb ? ra - rb : rb - ra) > 8) return false;
+    }
+    return true;
+  };
+  return exact.prediction == fast.prediction && exact.votes == fast.votes &&
+         exact.trusted == fast.trusted &&
+         close(exact.confidence, fast.confidence) &&
+         close(exact.vote_entropy, fast.vote_entropy) &&
+         close(exact.soft_entropy, fast.soft_entropy) &&
+         close(exact.expected_entropy, fast.expected_entropy) &&
+         close(exact.mutual_information, fast.mutual_information) &&
+         close(exact.variation_ratio, fast.variation_ratio) &&
+         close(exact.max_probability, fast.max_probability) &&
+         close(exact.score, fast.score);
+}
+
+AccuracyTierRow measure_accuracy_tier(core::ModelKind kind, int members,
+                                      const Matrix& batch) {
+  core::TrustedHmd hmd(linear_config_for(kind, members));
+  hmd.fit(bundle().train);
+  api::ScoreRequest request;
+  request.x = &batch;
+  request.outputs = api::kEstimateOutputs;
+  request.mode = core::UncertaintyMode::kSoftEntropy;
+
+  AccuracyTierRow row;
+  row.model = core::model_kind_name(kind);
+  row.members = members;
+  row.batch_rows = batch.rows();
+
+  api::ScoreResult exact_result;
+  request.accuracy = core::Accuracy::kExact;
+  hmd.score(request, exact_result);
+  api::ScoreResult fast_result;
+  request.accuracy = core::Accuracy::kFast;
+  hmd.score(request, fast_result);
+  row.band_ok = within_contract_band(exact_result, fast_result);
+  if (!row.band_ok) return row;  // no band, no timings worth having
+
+  const auto throughput = [&](core::Accuracy accuracy,
+                              api::ScoreResult& result) {
+    request.accuracy = accuracy;
+    return items_per_sec(batch.rows(), [&] {
+      hmd.score(request, result);
+      benchmark::DoNotOptimize(result.prediction.data());
+    });
+  };
+  row.exact = throughput(core::Accuracy::kExact, exact_result);
+  row.fast = throughput(core::Accuracy::kFast, fast_result);
+  return row;
+}
+
+std::vector<AccuracyTierRow> measure_accuracy_tier_series() {
+  const Matrix batch = serving_batch(bundle().test.X, 4096);
+  std::vector<AccuracyTierRow> rows;
+  for (const auto kind :
+       {core::ModelKind::kRandomForest, core::ModelKind::kBaggedLogistic,
+        core::ModelKind::kBaggedSvm}) {
+    rows.push_back(measure_accuracy_tier(kind, 100, batch));
+  }
+  return rows;
+}
+
 struct CacheTiming {
   double csv_save_ms = 0.0;
   double csv_load_ms = 0.0;
@@ -929,6 +1028,7 @@ void write_summary_json(const char* path) {
   const ArtifactMmapTiming mmap = measure_artifact_mmap();
   const ArtifactChecksumTiming checksum = measure_artifact_checksum();
   const std::vector<JitSeriesRow> jit_rows = measure_jit_series();
+  const std::vector<AccuracyTierRow> tier_rows = measure_accuracy_tier_series();
 
   const std::string probe_dir = "bench_results";
   std::filesystem::create_directories(probe_dir);
@@ -945,7 +1045,7 @@ void write_summary_json(const char* path) {
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_latency\",\n");
-  std::fprintf(out, "  \"schema_version\": 7,\n");
+  std::fprintf(out, "  \"schema_version\": 8,\n");
   std::fprintf(out, "  \"n_train\": %zu,\n  \"n_test\": %zu,\n",
                bundle().train.size(), bundle().test.size());
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
@@ -1144,6 +1244,42 @@ void write_summary_json(const char* path) {
                  row->compile_ms, row->arena_load_first_batch_ms,
                  static_cast<double>(row->code_bytes) / 1024.0);
   }
+  // Schema v8: the two-tier accuracy series, band-gated like the jit
+  // series is parity-gated.
+  std::size_t tier_refused = 0;
+  std::vector<const AccuracyTierRow*> tier_accepted;
+  for (const AccuracyTierRow& row : tier_rows) {
+    if (row.band_ok) {
+      tier_accepted.push_back(&row);
+    } else {
+      ++tier_refused;
+      std::fprintf(stderr,
+                   "[bench_latency] accuracy %s M=%d: fast tier OUTSIDE the "
+                   "contract band vs exact — entry refused, not written to "
+                   "the summary\n",
+                   row.model.c_str(), row.members);
+    }
+  }
+  std::fprintf(out, "  \"accuracy_tier\": {\"refused\": %zu, \"series\": [\n",
+               tier_refused);
+  for (std::size_t i = 0; i < tier_accepted.size(); ++i) {
+    const AccuracyTierRow& row = *tier_accepted[i];
+    std::fprintf(out,
+                 "    {\"model\": \"%s\", \"members\": %d, "
+                 "\"batch_rows\": %zu, \"estimate_score_exact\": %.1f, "
+                 "\"estimate_score_fast\": %.1f,\n     "
+                 "\"speedup_fast_vs_exact\": %.2f, \"band_ok\": true}%s\n",
+                 row.model.c_str(), row.members, row.batch_rows, row.exact,
+                 row.fast, row.fast / row.exact,
+                 i + 1 < tier_accepted.size() ? "," : "");
+    std::fprintf(stderr,
+                 "[bench_latency] accuracy %s M=%d (soft-entropy estimate "
+                 "mask, %zu rows): exact %.0f -> fast %.0f items/sec "
+                 "(%.2fx), within contract band\n",
+                 row.model.c_str(), row.members, row.batch_rows, row.exact,
+                 row.fast, row.fast / row.exact);
+  }
+  std::fprintf(out, "  ]},\n");
   std::fprintf(out,
                "  \"bundle_cache_ms\": {\"csv_save\": %.3f, \"csv_load\": "
                "%.3f, \"binary_save\": %.3f, \"binary_load\": %.3f, "

@@ -126,6 +126,12 @@ DetectorRegistry::DetectorRegistry(int n_threads, core::LoadMode mode,
 void DetectorRegistry::add(const std::string& key, const std::string& path) {
   HMD_REQUIRE(!key.empty(), "DetectorRegistry::add: empty key");
   auto entry = std::make_shared<Entry>(key, path);
+  // Shared maintenance lock: concurrent add()/remove() proceed freely,
+  // but a filter rebuild (exclusive) sees filter insert + map insert as
+  // one atomic step — otherwise a key registered mid-rebuild could land
+  // its fingerprint in the segments the rebuild is about to retire and
+  // be lost, a false negative on a registered key.
+  const std::shared_lock<std::shared_mutex> maintenance(filter_maintenance_);
   // Filter before map, and only for keys not yet present: inserting
   // first keeps "registered implies may_contain" airtight (a concurrent
   // contains() between the two inserts sees a filter maybe + map miss =
@@ -161,14 +167,38 @@ std::size_t DetectorRegistry::add_directory(const std::string& dir) {
 }
 
 bool DetectorRegistry::remove(const std::string& key) {
-  // Map first, then filter: between the two a lookup sees filter maybe +
-  // map miss = correct "not registered". The filter erase only runs for
-  // a key that was actually registered (so it can only remove a
-  // fingerprint add() inserted — erasing a never-inserted key could
-  // false-negative a colliding registered key).
-  if (!entries_.erase(key)) return false;
-  if (filter_ != nullptr) filter_->erase(key);
+  bool rebuild = false;
+  {
+    const std::shared_lock<std::shared_mutex> maintenance(
+        filter_maintenance_);
+    // Map first, then filter: between the two a lookup sees filter maybe
+    // + map miss = correct "not registered". The filter erase only runs
+    // for a key that was actually registered (so it can only remove a
+    // fingerprint add() inserted — erasing a never-inserted key could
+    // false-negative a colliding registered key).
+    if (!entries_.erase(key)) return false;
+    if (filter_ != nullptr) {
+      filter_->erase(key);
+      // Churn check: once erases since the last rebuild reach the live
+      // key count (floored so small registries never thrash), the filter
+      // is carrying at least as much retired slack as live state —
+      // compact it. Checked outside the shared lock: rebuild_filter()
+      // needs the exclusive one.
+      const std::uint64_t erased =
+          filter_erases_.fetch_add(1, std::memory_order_relaxed) + 1;
+      rebuild = erased >= kFilterRebuildFloor && erased >= entries_.size();
+    }
+  }
+  if (rebuild) rebuild_filter();
   return true;
+}
+
+void DetectorRegistry::rebuild_filter() {
+  if (filter_ == nullptr) return;
+  const std::lock_guard<std::shared_mutex> maintenance(filter_maintenance_);
+  const std::vector<std::string> live = entries_.sorted_keys();
+  filter_->rebuild({live.begin(), live.end()});
+  filter_erases_.store(0, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const core::TrustedHmd> DetectorRegistry::snapshot(

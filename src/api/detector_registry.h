@@ -32,7 +32,17 @@
 // answered O(1) from the filter without touching any shard lock — the
 // filter has no false negatives, and its false positives merely fall
 // through to the exact map. Filter maintenance rides registration
-// (add() inserts, remove() erases); answers are always exact.
+// (add() inserts, remove() erases); answers are always exact. Key churn
+// — registering and removing transient keys — grows the filter without
+// ever shrinking it, so once enough erases accumulate (relative to the
+// live key count) remove() rebuilds the filter from the live key set
+// into one right-sized segment; rebuild_filter() forces the same
+// compaction on demand. Registration and rebuild are ordered by a
+// shared/exclusive maintenance lock: add()/remove() hold it shared (so
+// they still run concurrently with each other), a rebuild holds it
+// exclusive — the rebuilt filter can therefore never miss a key whose
+// registration raced it. Lock-free probes are never excluded; they
+// retry through the filter's seqlock during the swap.
 //
 // A byte budget (FleetOptions::residency_budget_bytes, hmd_serve
 // --residency-mb) bounds how much artifact data stays resident: when a
@@ -106,6 +116,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -220,8 +231,21 @@ class DetectorRegistry {
   std::size_t add_directory(const std::string& dir);
 
   /// Unregister `key` (its artifact stays on disk; in-flight snapshots
-  /// stay valid). Returns false when the key was not registered.
+  /// stay valid). Returns false when the key was not registered. Every
+  /// kFilterRebuildFloor-th erase (at least) checks churn and may
+  /// compact the filter — see rebuild_filter().
   bool remove(const std::string& key);
+
+  /// Compact the cuckoo filter front door: re-insert exactly the live
+  /// key set into one right-sized segment, shedding the stale slack and
+  /// stacked segments that key churn accumulates. Called automatically
+  /// by remove() once erases since the last rebuild reach the live key
+  /// count (with a floor of kFilterRebuildFloor, so small registries
+  /// never thrash); callable any time. No-op when the filter is off.
+  void rebuild_filter();
+
+  /// Erases before remove() considers an automatic filter rebuild.
+  static constexpr std::uint64_t kFilterRebuildFloor = 256;
 
   /// Snapshot lookup. Loads the artifact on first use — and transparently
   /// *re*loads an evicted entry — with the retry / fallback discipline in
@@ -369,6 +393,12 @@ class DetectorRegistry {
   fleet::ShardedKeyMap<std::shared_ptr<Entry>> entries_;
   /// Null when FleetOptions::filter is off.
   std::unique_ptr<fleet::DynamicCuckooFilter> filter_;
+  /// Orders filter+map mutation against filter rebuilds: add()/remove()
+  /// shared, rebuild_filter() exclusive (see the fleet-scale section of
+  /// the file header). Never held across I/O.
+  mutable std::shared_mutex filter_maintenance_;
+  /// Successful erases since the last filter rebuild.
+  std::atomic<std::uint64_t> filter_erases_{0};
   /// Striped: the front door rejects at memory speed across threads, so
   /// the tally must not serialise them on one cache line.
   mutable fleet::StripedCounter filter_rejects_;

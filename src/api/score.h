@@ -33,6 +33,31 @@
 //    stats scratch) are resized, never reallocated, once their capacity
 //    has grown to the batch size — reuse one ScoreResult per serving
 //    loop.
+//
+// ## The two-tier accuracy contract
+//
+// ScoreRequest::accuracy selects between two serving tiers
+// (core::Accuracy):
+//
+//  - kExact (the default, and what every pre-existing caller gets):
+//    every guarantee above holds verbatim — selected values are
+//    bit-identical to the reference member-by-member path, libm
+//    transcendentals included.
+//  - kFast: transcendental evaluations (the linear engines' sigmoid,
+//    every binary entropy) run on the vectorised bounded-ULP kernels in
+//    simd/vmath.h. Contract: each such value is within 2 ULP of its
+//    kExact counterpart; exactly-representable specials (saturated
+//    sigmoids, H(0)=H(1)=0, vote-LUT entropies) are bit-identical.
+//    Discrete columns (prediction, votes, trusted) can differ only when
+//    the exact value they threshold sits inside the kernels' ULP band
+//    of the decision boundary (0.5 for a member vote, entropy_threshold
+//    for trusted) — a knife-edge no trained detector in the suite
+//    produces. Results are still deterministic per row for a given
+//    build and tier.
+//
+// score() lowers the tier into the engine StatsMask as the
+// core::kStatsFastMath modifier; engines without hot-path
+// transcendentals serve both tiers bit-identically.
 
 #include <cstdint>
 #include <optional>
@@ -90,6 +115,10 @@ struct ScoreRequest {
   /// Mode for kOutScore / kOutTrusted; unset = the detector's configured
   /// mode. Generalises the old TrustedHmd::scores(x, mode) override.
   std::optional<core::UncertaintyMode> mode;
+  /// Serving tier — see "The two-tier accuracy contract" above. kExact
+  /// keeps today's bit-parity guarantee; kFast permits the vectorised
+  /// ≤2-ULP transcendental kernels on the hot path.
+  core::Accuracy accuracy = core::Accuracy::kExact;
 };
 
 /// Struct-of-arrays result. Columns selected by the request hold one
@@ -115,6 +144,11 @@ struct ScoreResult {
   /// reusable scratch, left populated for callers that want the raw
   /// sums (fields outside the derived StatsMask are zero).
   std::vector<core::EnsembleStats> stats;
+
+  /// Fast-tier column scratch (a kOutTrusted-without-kOutScore request
+  /// needs somewhere to batch the scores). Internal to score(); contents
+  /// unspecified. Lives here so steady-state serving allocates nothing.
+  std::vector<double> fast_scratch;
 
   /// Size selected columns to `n`, empty the rest. Capacity is retained
   /// either way. score() calls this; callers never need to.

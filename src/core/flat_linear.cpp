@@ -240,8 +240,8 @@ EnsembleStats FlatLinearEngine::stats_one(RowView x) const {
 
 template <bool kNeedPosterior, bool kNeedEntropy>
 void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
-                                   std::size_t row_end,
-                                   EnsembleStats* out) const {
+                                   std::size_t row_end, EnsembleStats* out,
+                                   bool fast) const {
   const std::size_t m_count = n_members_;
   const std::size_t d = n_features_;
   const bool svm = kind_ == MemberKind::kSvm;
@@ -250,6 +250,13 @@ void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
   std::vector<double> xs(d);
   std::vector<double> z(m_count);
   std::vector<double> t(m_count);
+  // Fast-tier scratch: member probabilities and entropies, batched so
+  // the vectorised kernels get contiguous arrays.
+  std::vector<double> p, h;
+  if (fast) {
+    p.resize(m_count);
+    if constexpr (kNeedEntropy) h.resize(m_count);
+  }
 
   const auto scale_row = [&](std::size_t row, double* dst) {
     const double* src = x.row_ptr(row);
@@ -286,8 +293,10 @@ void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
   // Per-row epilogue in three phases so everything around the exp() calls
   // vectorises: (1) the affine link argument t[m] — elementwise, same
   // expressions as the reference, per-member order untouched; (2) the
-  // scalar sigmoid loop (exp is the only part the compiler cannot
-  // vectorise without changing results); (3) in-member-order accumulation.
+  // sigmoid — the scalar libm loop on the exact tier (exp is the only
+  // part the compiler cannot vectorise without changing results), one
+  // sigmoid_array / binary_entropy_array pass on the fast tier; (3)
+  // in-member-order accumulation, identical for both tiers.
   const auto finish_row = [&](const double* zj) {
     if (svm) {
       for (std::size_t m = 0; m < m_count; ++m) {
@@ -297,11 +306,23 @@ void FlatLinearEngine::tile_kernel(const Matrix& x, std::size_t row_begin,
       for (std::size_t m = 0; m < m_count; ++m) t[m] = zj[m] + bias_[m];
     }
     EnsembleStats stats;
-    for (std::size_t m = 0; m < m_count; ++m) {
-      const double p = link_probability(t[m]);
-      stats.votes1 += p > 0.5;
-      if constexpr (kNeedPosterior) stats.sum_p1 += p;
-      if constexpr (kNeedEntropy) stats.sum_entropy += binary_entropy(p);
+    if (fast) {
+      vmath_->sigmoid_array(t.data(), p.data(), m_count);
+      if constexpr (kNeedEntropy) {
+        vmath_->binary_entropy_array(p.data(), h.data(), m_count);
+      }
+      for (std::size_t m = 0; m < m_count; ++m) {
+        stats.votes1 += p[m] > 0.5;
+        if constexpr (kNeedPosterior) stats.sum_p1 += p[m];
+        if constexpr (kNeedEntropy) stats.sum_entropy += h[m];
+      }
+    } else {
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const double pm = link_probability(t[m]);
+        stats.votes1 += pm > 0.5;
+        if constexpr (kNeedPosterior) stats.sum_p1 += pm;
+        if constexpr (kNeedEntropy) stats.sum_entropy += binary_entropy(pm);
+      }
     }
     return stats;
   };
@@ -321,6 +342,7 @@ void FlatLinearEngine::stats_batch(const Matrix& x, ThreadPool* pool,
   out.assign(x.rows(), EnsembleStats{});
   const bool posterior = (mask & kStatsPosterior) != 0;
   const bool entropy = (mask & kStatsEntropy) != 0;
+  const bool fast = (mask & kStatsFastMath) != 0;
   const std::size_t n_tiles = (x.rows() + kTileRows - 1) / kTileRows;
   auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {
     for (std::size_t t = tile_begin; t < tile_end; ++t) {
@@ -329,13 +351,14 @@ void FlatLinearEngine::stats_batch(const Matrix& x, ThreadPool* pool,
           std::min(x.rows(), tile_row_begin + kTileRows);
       EnsembleStats* dst = out.data() + tile_row_begin;
       if (posterior && entropy) {
-        tile_kernel<true, true>(x, tile_row_begin, tile_row_end, dst);
+        tile_kernel<true, true>(x, tile_row_begin, tile_row_end, dst, fast);
       } else if (posterior) {
-        tile_kernel<true, false>(x, tile_row_begin, tile_row_end, dst);
+        tile_kernel<true, false>(x, tile_row_begin, tile_row_end, dst, fast);
       } else if (entropy) {
-        tile_kernel<false, true>(x, tile_row_begin, tile_row_end, dst);
+        tile_kernel<false, true>(x, tile_row_begin, tile_row_end, dst, fast);
       } else {
-        tile_kernel<false, false>(x, tile_row_begin, tile_row_end, dst);
+        tile_kernel<false, false>(x, tile_row_begin, tile_row_end, dst,
+                                  fast);
       }
     }
   };

@@ -29,6 +29,17 @@
 // binary_entropy, a prediction-only request additionally drops the
 // posterior accumulate (the sigmoid itself still runs — votes need p).
 //
+// Under the fast tier (StatsMask bit kStatsFastMath, i.e.
+// Accuracy::kFast), the per-member sigmoid/entropy loop is replaced by
+// the runtime-ISA-dispatched array kernels of simd/vmath.h: one
+// sigmoid_array pass over the tile's link arguments and (when selected)
+// one binary_entropy_array pass over the probabilities, each within
+// 2 ULP of the exact value with the same saturation shortcuts applied
+// exactly. Accumulation stays in member order, so fast-tier results are
+// deterministic too. The dispatch table is captured at engine
+// construction (like the forest's JIT kernel table) and shared by every
+// tile.
+//
 // Tiles are distributed over the thread pool; each tile writes a disjoint
 // output range, so results are deterministic for any worker count.
 //
@@ -50,6 +61,7 @@
 #include "core/inference_engine.h"
 #include "ml/bagging.h"
 #include "ml/preprocessing.h"
+#include "simd/vmath.h"
 
 namespace hmd::io {
 class ByteReader;
@@ -123,11 +135,18 @@ class FlatLinearEngine final : public InferenceEngine {
 
   template <bool kNeedPosterior, bool kNeedEntropy>
   void tile_kernel(const Matrix& x, std::size_t row_begin,
-                   std::size_t row_end, EnsembleStats* out) const;
+                   std::size_t row_end, EnsembleStats* out,
+                   bool fast) const;
 
   MemberKind kind_ = MemberKind::kLogistic;
   std::size_t n_members_ = 0;
   std::size_t n_features_ = 0;
+
+  /// Fast-tier kernel table, resolved for the active ISA once at engine
+  /// construction (the in-class initialiser covers every construction
+  /// path: compile, load_blob, from_buffer). Exact-tier requests never
+  /// consult it.
+  const simd::VmathKernels* vmath_ = &simd::kernels();
 
   // Hot-path views. Either into the storage vectors below (training /
   // v1 stream load) or straight into buffer_'s mapped bytes (v2 load).

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "core/flat_linear.h"
+#include "simd/vmath.h"
 
 namespace hmd::core {
 
@@ -57,6 +58,20 @@ inline double confidence_from(const EnsembleStats& stats, int prediction,
                               int m) {
   const double p1 = stats.sum_p1 / static_cast<double>(m);
   return prediction == 1 ? p1 : 1.0 - p1;
+}
+
+/// Fast-tier batched fill of the binary_entropy(sum_p1 / m) family:
+/// writes p̄ into `out` row by row (the same division the exact path
+/// performs), then one vectorised entropy pass in place. Soft entropy is
+/// the result verbatim; mutual information subtracts sum_entropy / m
+/// afterwards. ≤2 ULP of the exact column per the simd/vmath.h contract.
+inline void fill_pbar_entropy(const std::vector<EnsembleStats>& stats,
+                              std::size_t n, int m,
+                              const simd::VmathKernels& vm, double* out) {
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r] = stats[r].sum_p1 / static_cast<double>(m);
+  }
+  vm.binary_entropy_array(out, out, n);
 }
 
 }  // namespace
@@ -238,8 +253,14 @@ void UntrustedHmd::score(const api::ScoreRequest& request,
   const Matrix& x = *request.x;
   const UncertaintyMode mode = request.mode.value_or(config_.mode);
   const api::OutputMask outputs = request.outputs;
+  const bool fast = request.accuracy == Accuracy::kFast;
+  // Resolved once per call: the dispatch table for the active ISA (only
+  // consulted on the fast tier — the exact path never touches it).
+  const simd::VmathKernels* vm = fast ? &simd::kernels() : nullptr;
 
-  stats_batch(x, result.stats, api::stats_mask_for(outputs, mode));
+  StatsMask stats_mask = api::stats_mask_for(outputs, mode);
+  if (fast) stats_mask |= kStatsFastMath;
+  stats_batch(x, result.stats, stats_mask);
   result.shape(outputs, x.rows());
 
   // Column fills, one tight loop per selected output. Every column goes
@@ -271,9 +292,13 @@ void UntrustedHmd::score(const api::ScoreRequest& request,
     }
   }
   if (outputs & api::kOutSoftEntropy) {
-    for (std::size_t r = 0; r < n; ++r) {
-      result.soft_entropy[r] = uncertainty_score(
-          UncertaintyMode::kSoftEntropy, stats[r], m, nullptr);
+    if (fast) {
+      fill_pbar_entropy(stats, n, m, *vm, result.soft_entropy.data());
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        result.soft_entropy[r] = uncertainty_score(
+            UncertaintyMode::kSoftEntropy, stats[r], m, nullptr);
+      }
     }
   }
   if (outputs & api::kOutExpectedEntropy) {
@@ -283,9 +308,17 @@ void UntrustedHmd::score(const api::ScoreRequest& request,
     }
   }
   if (outputs & api::kOutMutualInformation) {
-    for (std::size_t r = 0; r < n; ++r) {
-      result.mutual_information[r] = uncertainty_score(
-          UncertaintyMode::kMutualInformation, stats[r], m, nullptr);
+    if (fast) {
+      double* out = result.mutual_information.data();
+      fill_pbar_entropy(stats, n, m, *vm, out);
+      for (std::size_t r = 0; r < n; ++r) {
+        out[r] -= stats[r].sum_entropy / static_cast<double>(m);
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        result.mutual_information[r] = uncertainty_score(
+            UncertaintyMode::kMutualInformation, stats[r], m, nullptr);
+      }
     }
   }
   if (outputs & api::kOutVariationRatio) {
@@ -303,11 +336,35 @@ void UntrustedHmd::score(const api::ScoreRequest& request,
   if (outputs & (api::kOutScore | api::kOutTrusted)) {
     const bool want_score = (outputs & api::kOutScore) != 0;
     const bool want_trusted = (outputs & api::kOutTrusted) != 0;
-    for (std::size_t r = 0; r < n; ++r) {
-      const double s = uncertainty_score(mode, stats[r], m, vote_lut());
-      if (want_score) result.score[r] = s;
+    // Only the soft-entropy family pays a transcendental at fill time
+    // (vote entropy is a LUT read; expected entropy, variation ratio and
+    // max probability are arithmetic on the sums), so only it has a
+    // batched fast path.
+    const bool fast_fill =
+        fast && (mode == UncertaintyMode::kSoftEntropy ||
+                 mode == UncertaintyMode::kMutualInformation);
+    if (fast_fill) {
+      if (!want_score) result.fast_scratch.resize(n);
+      double* s = want_score ? result.score.data()
+                             : result.fast_scratch.data();
+      fill_pbar_entropy(stats, n, m, *vm, s);
+      if (mode == UncertaintyMode::kMutualInformation) {
+        for (std::size_t r = 0; r < n; ++r) {
+          s[r] -= stats[r].sum_entropy / static_cast<double>(m);
+        }
+      }
       if (want_trusted) {
-        result.trusted[r] = s <= config_.entropy_threshold ? 1 : 0;
+        for (std::size_t r = 0; r < n; ++r) {
+          result.trusted[r] = s[r] <= config_.entropy_threshold ? 1 : 0;
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        const double s = uncertainty_score(mode, stats[r], m, vote_lut());
+        if (want_score) result.score[r] = s;
+        if (want_trusted) {
+          result.trusted[r] = s <= config_.entropy_threshold ? 1 : 0;
+        }
       }
     }
   }

@@ -49,19 +49,46 @@ enum class EngineId : std::uint32_t {
   kFlatLinear = 2,
 };
 
-/// Which EnsembleStats fields the caller will actually read. Engines may
-/// leave an unselected field zero and skip the work that feeds it — the
-/// per-member entropy log() pair, or the posterior accumulate of a
-/// prediction-only request. votes1 is always exact: every selected field
-/// is bit-identical to a full computation, an unselected field is
-/// unspecified (zero in practice).
+/// The two-tier accuracy contract, carried per request through the
+/// score() spine (api/score.h) down into the engine kernels:
+///
+///  - kExact (the default): today's guarantee, unchanged — every output
+///    is bit-identical to the reference member-by-member path, libm
+///    transcendentals included. Old wire-protocol clients, the legacy
+///    wrapper surface, and any request that does not say otherwise get
+///    this tier.
+///  - kFast: transcendentals (the linear engines' sigmoid, every binary
+///    entropy) are evaluated by the vectorised kernels in simd/vmath.h
+///    under their documented ≤2-ULP bound. Saturated sigmoid values and
+///    all special cases stay exact; which rows share a batch still
+///    cannot change a row's result (per-row determinism holds per
+///    tier). Engines without hot-path transcendentals (the flat forest:
+///    precomputed leaf entropies, vote LUT) serve kFast bit-identical
+///    to kExact.
+enum class Accuracy : std::uint8_t {
+  kExact = 0,
+  kFast = 1,
+};
+
+/// Which EnsembleStats fields the caller will actually read, plus how.
+/// Engines may leave an unselected field zero and skip the work that
+/// feeds it — the per-member entropy log() pair, or the posterior
+/// accumulate of a prediction-only request. votes1 is always exact:
+/// every selected field is bit-identical to a full computation, an
+/// unselected field is unspecified (zero in practice).
 enum StatsField : std::uint32_t {
   kStatsVotes = 1u << 0,      ///< votes1 (always computed; one compare)
   kStatsPosterior = 1u << 1,  ///< sum_p1
   kStatsEntropy = 1u << 2,    ///< sum_entropy
+  /// Modifier, not a field: the request is Accuracy::kFast, so the
+  /// engine may fill the selected fields with the vectorised bounded-ULP
+  /// kernels (simd/vmath.h) instead of libm. Without it the bit-parity
+  /// contract above is unchanged.
+  kStatsFastMath = 1u << 3,
 };
 using StatsMask = std::uint32_t;
 
+/// Every *field* bit (kStatsFastMath is a modifier, never implied).
 inline constexpr StatsMask kStatsAll =
     kStatsVotes | kStatsPosterior | kStatsEntropy;
 

@@ -38,9 +38,15 @@ DynamicCuckooFilter::DynamicCuckooFilter(Options options)
               "DynamicCuckooFilter: max_load must be in (0, 1]");
   const std::size_t buckets = round_up_pow2(
       (options_.initial_capacity + kSlotsPerBucket - 1) / kSlotsPerBucket);
-  segments_[0] = std::make_unique<Segment>(buckets);
+  segments_[0].store(new_segment(buckets), std::memory_order_release);
   segment_count_.store(1, std::memory_order_release);
   next_buckets_ = buckets * kGrowthFactor;
+}
+
+DynamicCuckooFilter::Segment* DynamicCuckooFilter::new_segment(
+    std::size_t bucket_count) {
+  owned_.push_back(std::make_unique<Segment>(bucket_count));
+  return owned_.back().get();
 }
 
 std::uint64_t DynamicCuckooFilter::hash_key(std::string_view key) {
@@ -117,7 +123,9 @@ bool DynamicCuckooFilter::sweep_segments(std::uint64_t hash,
   // serialised ones.
   const Slot* candidates[2 * kMaxSegments];
   for (std::size_t i = 0; i < count; ++i) {
-    const Segment& segment = *segments_[i];
+    // Acquire pairs with rebuild()'s release store: a freshly swapped-in
+    // segment is fully constructed before its pointer is visible.
+    const Segment& segment = *segments_[i].load(std::memory_order_acquire);
     const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
     const Slot* c1 = segment.bucket(b1);
     const Slot* c2 = segment.bucket(alt_bucket(b1, fp, segment.mask));
@@ -182,7 +190,7 @@ void DynamicCuckooFilter::insert(std::string_view key) {
   // Direct placement, newest segment first: new keys land in the active
   // segment; holes erased out of older segments get backfilled.
   for (std::size_t i = count; i-- > 0 && !placed;) {
-    Segment& segment = *segments_[i];
+    Segment& segment = *segments_[i].load(std::memory_order_relaxed);
     const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
     const std::size_t b2 = alt_bucket(b1, fp, segment.mask);
     if (bucket_insert(segment.bucket(b1), fp) ||
@@ -192,7 +200,7 @@ void DynamicCuckooFilter::insert(std::string_view key) {
     }
   }
   if (!placed) {
-    Segment& active = *segments_[count - 1];
+    Segment& active = *segments_[count - 1].load(std::memory_order_relaxed);
     const double load = static_cast<double>(active.occupied) /
                         static_cast<double>(active.slots.size());
     if (load < options_.max_load) {
@@ -210,9 +218,9 @@ void DynamicCuckooFilter::insert(std::string_view key) {
     // the count so readers only ever see constructed segments.
     HMD_REQUIRE(count < kMaxSegments,
                 "DynamicCuckooFilter: segment limit exceeded");
-    segments_[count] = std::make_unique<Segment>(next_buckets_);
+    Segment& fresh = *new_segment(next_buckets_);
     next_buckets_ *= kGrowthFactor;
-    Segment& fresh = *segments_[count];
+    segments_[count].store(&fresh, std::memory_order_release);
     segment_count_.store(count + 1, std::memory_order_release);
     const std::size_t b1 = static_cast<std::size_t>(hash) & fresh.mask;
     bucket_insert(fresh.bucket(b1), fp);
@@ -251,7 +259,7 @@ bool DynamicCuckooFilter::erase(std::string_view key) {
   const std::size_t count = segment_count_.load(std::memory_order_relaxed);
   bool removed = false;
   for (std::size_t i = count; i-- > 0 && !removed;) {
-    Segment& segment = *segments_[i];
+    Segment& segment = *segments_[i].load(std::memory_order_relaxed);
     const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
     if (bucket_remove(segment.bucket(b1), fp) ||
         bucket_remove(segment.bucket(alt_bucket(b1, fp, segment.mask)),
@@ -265,6 +273,83 @@ bool DynamicCuckooFilter::erase(std::string_view key) {
   return removed;
 }
 
+void DynamicCuckooFilter::place_for_rebuild(std::vector<Segment*>& stack,
+                                            std::size_t& next_buckets,
+                                            std::uint64_t hash,
+                                            std::uint16_t fp) {
+  // Same placement policy as insert(), against the private stack: direct
+  // placement newest-first, then kicks into the active segment, then
+  // grow. Growth here should be rare — the stack's first segment is
+  // sized for the whole live set.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    Segment& segment = **it;
+    const std::size_t b1 = static_cast<std::size_t>(hash) & segment.mask;
+    const std::size_t b2 = alt_bucket(b1, fp, segment.mask);
+    if (bucket_insert(segment.bucket(b1), fp) ||
+        bucket_insert(segment.bucket(b2), fp)) {
+      ++segment.occupied;
+      return;
+    }
+  }
+  Segment& active = *stack.back();
+  const double load = static_cast<double>(active.occupied) /
+                      static_cast<double>(active.slots.size());
+  if (load < options_.max_load) {
+    const std::size_t b1 = static_cast<std::size_t>(hash) & active.mask;
+    if (insert_with_kicks(active, b1, fp)) {
+      ++active.occupied;
+      return;
+    }
+  }
+  HMD_REQUIRE(stack.size() < kMaxSegments,
+              "DynamicCuckooFilter: segment limit exceeded");
+  Segment& fresh = *new_segment(next_buckets);
+  next_buckets *= kGrowthFactor;
+  stack.push_back(&fresh);
+  const std::size_t b1 = static_cast<std::size_t>(hash) & fresh.mask;
+  bucket_insert(fresh.bucket(b1), fp);
+  ++fresh.occupied;
+}
+
+void DynamicCuckooFilter::rebuild(
+    const std::vector<std::string_view>& live_keys) {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+
+  // One fresh segment sized so the live set sits below max_load, never
+  // below the configured initial capacity. The whole stack is private
+  // until the swap, so probes keep validating against the old one.
+  const std::size_t want_slots = std::max(
+      options_.initial_capacity,
+      static_cast<std::size_t>(static_cast<double>(live_keys.size()) /
+                               options_.max_load) +
+          kSlotsPerBucket);
+  std::vector<Segment*> stack;
+  std::size_t next_buckets =
+      round_up_pow2((want_slots + kSlotsPerBucket - 1) / kSlotsPerBucket);
+  stack.push_back(new_segment(next_buckets));
+  next_buckets *= kGrowthFactor;
+  for (const std::string_view key : live_keys) {
+    const std::uint64_t hash = hash_key(key);
+    place_for_rebuild(stack, next_buckets, hash, fingerprint(hash));
+  }
+
+  // Swap inside a seqlock write window. Slots at index >= the new count
+  // keep their old (retired) pointers: a probe racing the swap may still
+  // sweep them — valid memory, and its result is discarded by version
+  // validation anyway.
+  const std::uint64_t version = version_.load(std::memory_order_relaxed);
+  version_.store(version + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    segments_[i].store(stack[i], std::memory_order_release);
+  }
+  segment_count_.store(stack.size(), std::memory_order_release);
+  next_buckets_ = next_buckets;
+  size_.store(live_keys.size(), std::memory_order_relaxed);
+  ++rebuilds_;
+  version_.store(version + 2, std::memory_order_release);
+}
+
 FilterStats DynamicCuckooFilter::stats() const {
   const std::lock_guard<std::mutex> lock(writer_mutex_);
   FilterStats out;
@@ -272,8 +357,9 @@ FilterStats DynamicCuckooFilter::stats() const {
   out.keys = size_.load(std::memory_order_relaxed);
   out.segments = segment_count_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < out.segments; ++i) {
-    out.slots += segments_[i]->slots.size();
+    out.slots += segments_[i].load(std::memory_order_relaxed)->slots.size();
   }
+  out.rebuilds = rebuilds_;
   out.occupancy = out.slots == 0
                       ? 0.0
                       : static_cast<double>(out.keys) /

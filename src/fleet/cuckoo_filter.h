@@ -46,6 +46,20 @@
 // resident fingerprint, which is what makes "no false negatives" a hard
 // invariant rather than a probabilistic one.
 //
+// ## Shrink: rebuild() after key churn
+//
+// Erases free slots but never retire segments, so a filter that grew
+// under a transient key population keeps paying the full per-probe
+// segment sweep (and the widened FP bound) forever. rebuild() fixes
+// that: given the *live* key set, it re-inserts every key into one
+// right-sized fresh segment (stacking only if placement overflows) and
+// atomically swaps the stack. Fingerprints cannot migrate across mask
+// sizes — b2 = b1 ^ (spread(fp) & mask) changes meaning — which is why
+// rebuild takes keys, not resident fingerprints. Retired segments are
+// parked on an owner list and freed only at destruction: concurrent
+// lock-free probes may still hold raw pointers into them (their sweeps
+// fail seqlock validation and retry, but the memory must stay valid).
+//
 // ## Concurrency: seqlock reads, mutex writes
 //
 // may_contain() takes NO lock at all: slots are relaxed atomics and a
@@ -84,6 +98,7 @@ struct FilterStats {
   double occupancy = 0.0;    ///< keys / slots
   double fp_bound = 0.0;     ///< ~segments * 8 / 2^16 upper estimate
   std::uint64_t rejected = 0;
+  std::uint64_t rebuilds = 0;  ///< times rebuild() compacted the filter
 };
 
 class DynamicCuckooFilter {
@@ -124,6 +139,16 @@ class DynamicCuckooFilter {
   /// erasing a colliding never-inserted key could false-negative its
   /// collision partner — same contract as any cuckoo filter.
   bool erase(std::string_view key);
+
+  /// Replace the whole filter with one right-sized segment holding
+  /// exactly `live_keys` (see "Shrink" in the file header). Safe against
+  /// concurrent may_contain() — probes racing the swap fail seqlock
+  /// validation and retry against the published stack. The caller owns
+  /// the TOCTOU between snapshotting its live set and calling this: a
+  /// key inserted after the snapshot is NOT in the rebuilt filter, so
+  /// external insert/erase must be excluded for the duration (the
+  /// registry holds its maintenance lock across both).
+  void rebuild(const std::vector<std::string_view>& live_keys);
 
   /// Fingerprints resident (== inserts - successful erases).
   std::size_t size() const {
@@ -200,18 +225,36 @@ class DynamicCuckooFilter {
   bool insert_with_kicks(Segment& segment, std::size_t bucket,
                          std::uint16_t fp);
 
+  /// Allocate a segment onto the owner list and return its raw pointer
+  /// (writer mutex held). Segments are freed only at destruction — see
+  /// the rebuild note in the file header.
+  Segment* new_segment(std::size_t bucket_count);
+
+  /// Place `fp` into the private (unpublished) rebuild stack, growing it
+  /// when placement overflows. Writer mutex held.
+  void place_for_rebuild(std::vector<Segment*>& stack,
+                         std::size_t& next_buckets, std::uint64_t hash,
+                         std::uint16_t fp);
+
   Options options_;
-  /// Serialises insert/erase (and stats); never taken by a successful
-  /// seqlock read.
+  /// Serialises insert/erase/rebuild (and stats); never taken by a
+  /// successful seqlock read.
   mutable std::mutex writer_mutex_;
   /// Seqlock generation: odd while a writer is mutating slots.
   std::atomic<std::uint64_t> version_{0};
-  std::array<std::unique_ptr<Segment>, kMaxSegments> segments_;
-  /// Published segment count; segments_[i] for i < count are immutable
-  /// pointers to fully constructed segments.
+  /// Published stack: segments_[i] for i < segment_count_ point at fully
+  /// constructed segments. Atomic because rebuild() swaps them while
+  /// lock-free probes read them (release store / acquire load pairs).
+  std::array<std::atomic<Segment*>, kMaxSegments> segments_{};
+  /// Published segment count.
   std::atomic<std::size_t> segment_count_{0};
+  /// Every segment ever allocated, live and retired alike (writer mutex
+  /// only). Retired segments — replaced by rebuild() — stay here until
+  /// destruction because concurrent probes may hold raw pointers.
+  std::vector<std::unique_ptr<Segment>> owned_;
   std::size_t next_buckets_ = 0;  ///< bucket count of the next segment
   std::atomic<std::size_t> size_{0};
+  std::uint64_t rebuilds_ = 0;  ///< writer mutex only
   std::vector<Kick> journal_;  ///< kick scratch, reused across inserts
 };
 

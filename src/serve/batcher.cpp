@@ -26,11 +26,13 @@ void MicroBatcher::enqueue(std::uint64_t conn_id, std::uint32_t request_id,
                            api::OutputMask outputs,
                            std::optional<core::UncertaintyMode> mode,
                            const unsigned char* features_le,
-                           std::uint32_t rows, std::uint32_t cols) {
+                           std::uint32_t rows, std::uint32_t cols,
+                           core::Accuracy accuracy) {
   BatchItem item;
   item.conn_id = conn_id;
   item.request_id = request_id;
   item.outputs = outputs;
+  item.accuracy = accuracy;
   item.rows = rows;
 
   // Reject unscorable requests before they can touch a queue: an unknown
@@ -46,11 +48,13 @@ void MicroBatcher::enqueue(std::uint64_t conn_id, std::uint32_t request_id,
   }
 
   const QueueKey key(std::string(model_key),
-                     mode ? static_cast<int>(*mode) : -1);
+                     mode ? static_cast<int>(*mode) : -1,
+                     static_cast<int>(accuracy));
   Queue& q = queues_[key];
   if (q.items.empty()) {
-    q.model_key = key.first;
+    q.model_key = std::get<0>(key);
     q.mode = mode;
+    q.accuracy = accuracy;
     q.cols = cols;  // re-fixed each time the queue drains
   } else if (q.cols != cols) {
     ++stats_.errors;
@@ -137,6 +141,7 @@ void MicroBatcher::flush_queue(Queue& q, FlushWhy why) {
   api::ScoreRequest request;
   request.x = &x;
   request.mode = q.mode;
+  request.accuracy = q.accuracy;
   request.outputs = 0;
   for (const BatchItem& item : q.items) request.outputs |= item.outputs;
 

@@ -18,11 +18,14 @@
 //     nothing to coalesce, bigger tiles as concurrency rises, with
 //     max_delay_us bounding the wait either way.
 //
-// Queues are keyed by (model key, uncertainty mode): kOutScore/kOutTrusted
-// depend on the mode, so requests under different modes never share a
-// score() call, while differing OutputMasks within a queue are merged by
-// union — safe because the mask contract (api/score.h) makes every
-// selected column bit-identical for any mask. Per-model queues are the
+// Queues are keyed by (model key, uncertainty mode, accuracy tier):
+// kOutScore/kOutTrusted depend on the mode, and the two accuracy tiers
+// (api/score.h) carry different numeric contracts, so requests differing
+// in either never share a score() call — coalescing an exact request
+// into a fast batch would silently break its bit-parity guarantee.
+// Differing OutputMasks within a queue are merged by union — safe
+// because the mask contract (api/score.h) makes every selected column
+// bit-identical for any mask. Per-model queues are the
 // isolation boundary: a cold or broken model stalls or fails only its own
 // queue's requests (errors are delivered per request through the error
 // sink), never another model's.
@@ -69,6 +72,8 @@ struct BatchItem {
   std::uint64_t conn_id = 0;
   std::uint32_t request_id = 0;
   api::OutputMask outputs = 0;
+  /// Tier the item's queue scores under (echoed in the result frame).
+  core::Accuracy accuracy = core::Accuracy::kExact;
   std::size_t row_begin = 0;
   std::uint32_t rows = 0;
 };
@@ -110,7 +115,8 @@ class MicroBatcher {
                std::string_view model_key, api::OutputMask outputs,
                std::optional<core::UncertaintyMode> mode,
                const unsigned char* features_le, std::uint32_t rows,
-               std::uint32_t cols);
+               std::uint32_t cols,
+               core::Accuracy accuracy = core::Accuracy::kExact);
 
   /// Earliest (oldest enqueue + max_delay_us) over non-empty queues; the
   /// server sleeps no longer than this.
@@ -131,14 +137,16 @@ class MicroBatcher {
   struct Queue {
     std::string model_key;
     std::optional<core::UncertaintyMode> mode;
+    core::Accuracy accuracy = core::Accuracy::kExact;
     std::size_t cols = 0;  ///< fixed by the first request while non-empty
     std::vector<double> rows_data;  ///< row-major gather buffer, reused
     std::vector<BatchItem> items;
     Clock::time_point oldest{};
     api::ScoreResult result;  ///< reused scratch for this queue's flushes
   };
-  /// int key: mode value, -1 for "model's configured mode".
-  using QueueKey = std::pair<std::string, int>;
+  /// int key: mode value, -1 for "model's configured mode". The trailing
+  /// int is the accuracy tier — tiers never coalesce.
+  using QueueKey = std::tuple<std::string, int, int>;
 
   void flush_queue(Queue& q, FlushWhy why);
   void fail_queue(Queue& q, wire::ErrorCode code, const std::string& detail);

@@ -89,11 +89,59 @@ bool slice_matches(const std::vector<T>& got, const std::vector<T>& want,
                      rows * sizeof(T)) == 0;
 }
 
+// Fast-tier tolerance against the exact oracle. Each transcendental in
+// the fast path is within 2 ULP (simd/vmath.h); a column value composes
+// at most a couple of them plus exact arithmetic, so a small ULP budget
+// covers it. The absolute floor covers mutual information, where the
+// subtraction h(p̄) − H̄ can cancel: the absolute error stays at the
+// operands' ULP scale (~1e-16 for entropies in [0, 1]) even when the
+// tiny difference makes the *relative* error unbounded.
+constexpr std::uint64_t kFastVerifyUlps = 8;
+constexpr double kFastVerifyAbs = 1e-12;
+
+/// Monotone bit-rank of a double: total order matching <, so ULP
+/// distance is rank subtraction (works across ±0 and denormals).
+std::uint64_t value_rank(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return (bits >> 63) ? ~bits : (bits | 0x8000000000000000ull);
+}
+
+bool value_close(double got, double want) {
+  std::uint64_t gb, wb;
+  std::memcpy(&gb, &got, sizeof(gb));
+  std::memcpy(&wb, &want, sizeof(wb));
+  if (gb == wb) return true;  // covers NaN == NaN bitwise, ±inf, -0.0
+  if (std::abs(got - want) <= kFastVerifyAbs) return true;
+  const std::uint64_t gr = value_rank(got);
+  const std::uint64_t wr = value_rank(want);
+  return (gr > wr ? gr - wr : wr - gr) <= kFastVerifyUlps;
+}
+
+bool slice_close(const std::vector<double>& got,
+                 const std::vector<double>& want, std::size_t row_start,
+                 std::size_t rows) {
+  if (got.size() != rows || want.size() < row_start + rows) return false;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (!value_close(got[r], want[row_start + r])) return false;
+  }
+  return true;
+}
+
 bool verify_response(const api::ScoreResult& got,
                      const api::ScoreResult& want, api::OutputMask outputs,
-                     std::size_t row_start, std::size_t rows,
-                     std::string& detail) {
+                     core::Accuracy accuracy, std::size_t row_start,
+                     std::size_t rows, std::string& detail) {
   using namespace api;
+  // Double columns: bitwise on the exact tier, bounded-ULP on the fast
+  // tier (the oracle is always exact-tier). Integer columns are bitwise
+  // on both.
+  const bool fast = accuracy == core::Accuracy::kFast;
+  const auto dslice = [&](const std::vector<double>& g,
+                          const std::vector<double>& w) {
+    return fast ? slice_close(g, w, row_start, rows)
+                : slice_matches(g, w, row_start, rows);
+  };
   const auto check = [&](const char* name, auto ok) {
     if (!ok) detail = std::string("column ") + name + " differs";
     return static_cast<bool>(ok);
@@ -103,44 +151,34 @@ bool verify_response(const api::ScoreResult& got,
              slice_matches(got.prediction, want.prediction, row_start, rows)))
     return false;
   if (outputs & kOutConfidence &&
-      !check("confidence",
-             slice_matches(got.confidence, want.confidence, row_start, rows)))
+      !check("confidence", dslice(got.confidence, want.confidence)))
     return false;
   if (outputs & kOutVotes &&
       !check("votes", slice_matches(got.votes, want.votes, row_start, rows)))
     return false;
   if (outputs & kOutVoteEntropy &&
-      !check("vote_entropy", slice_matches(got.vote_entropy,
-                                           want.vote_entropy, row_start,
-                                           rows)))
+      !check("vote_entropy", dslice(got.vote_entropy, want.vote_entropy)))
     return false;
   if (outputs & kOutSoftEntropy &&
-      !check("soft_entropy", slice_matches(got.soft_entropy,
-                                           want.soft_entropy, row_start,
-                                           rows)))
+      !check("soft_entropy", dslice(got.soft_entropy, want.soft_entropy)))
     return false;
   if (outputs & kOutExpectedEntropy &&
       !check("expected_entropy",
-             slice_matches(got.expected_entropy, want.expected_entropy,
-                           row_start, rows)))
+             dslice(got.expected_entropy, want.expected_entropy)))
     return false;
   if (outputs & kOutMutualInformation &&
       !check("mutual_information",
-             slice_matches(got.mutual_information, want.mutual_information,
-                           row_start, rows)))
+             dslice(got.mutual_information, want.mutual_information)))
     return false;
   if (outputs & kOutVariationRatio &&
       !check("variation_ratio",
-             slice_matches(got.variation_ratio, want.variation_ratio,
-                           row_start, rows)))
+             dslice(got.variation_ratio, want.variation_ratio)))
     return false;
   if (outputs & kOutMaxProbability &&
       !check("max_probability",
-             slice_matches(got.max_probability, want.max_probability,
-                           row_start, rows)))
+             dslice(got.max_probability, want.max_probability)))
     return false;
-  if (outputs & kOutScore &&
-      !check("score", slice_matches(got.score, want.score, row_start, rows)))
+  if (outputs & kOutScore && !check("score", dslice(got.score, want.score)))
     return false;
   if (outputs & kOutTrusted &&
       !check("trusted",
@@ -202,7 +240,7 @@ LoadGenReport run_load(const LoadGenOptions& options) {
     const std::uint32_t id = c.next_request_id++;
     wire::append_request(c.out, id, options.model_key, options.outputs,
                          options.mode, source.row_ptr(row_start), req_rows,
-                         cols);
+                         cols, options.accuracy);
     c.outstanding[id] =
         Outstanding{now, row_start, static_cast<std::uint32_t>(req_rows)};
     ++c.sent;
@@ -231,6 +269,14 @@ LoadGenReport run_load(const LoadGenOptions& options) {
         report.parity_ok = false;
         report.parity_detail = "response row count mismatch";
       }
+      if (frame.result.accuracy != options.accuracy) {
+        report.parity_ok = false;
+        report.parity_detail =
+            "server echoed accuracy tier " +
+            std::to_string(static_cast<int>(frame.result.accuracy)) +
+            ", requested " +
+            std::to_string(static_cast<int>(options.accuracy));
+      }
       latencies_us.push_back(
           std::chrono::duration<double, std::micro>(now - pending.sent_at)
               .count());
@@ -240,7 +286,8 @@ LoadGenReport run_load(const LoadGenOptions& options) {
         wire::unpack_result(frame.result, scratch);
         std::string detail;
         if (!verify_response(scratch, *options.expected, options.outputs,
-                             pending.row_start, pending.rows, detail)) {
+                             options.accuracy, pending.row_start,
+                             pending.rows, detail)) {
           report.parity_ok = false;
           report.parity_detail =
               detail + " at rows [" + std::to_string(pending.row_start) +

@@ -25,6 +25,9 @@ struct LoadGenOptions {
   std::string model_key;
   api::OutputMask outputs = api::kDetectionOutputs;
   std::optional<core::UncertaintyMode> mode;
+  /// Serving tier stamped on every request (wire header byte 6). The
+  /// server must echo it on each result or the run fails verification.
+  core::Accuracy accuracy = core::Accuracy::kExact;
 
   /// Rows are taken from here in contiguous chunks, wrapping to row 0
   /// when a chunk would run off the end. Must outlive run_load().
@@ -39,8 +42,13 @@ struct LoadGenOptions {
   double open_loop_rps = 0.0;
   std::uint64_t total_requests = 1000;
 
-  /// Full-source direct score() under the same outputs/mode; responses
-  /// are compared bit-for-bit against the matching row slices.
+  /// Full-source direct *exact-tier* score() under the same
+  /// outputs/mode; responses are compared against the matching row
+  /// slices. Exact-tier runs compare bit-for-bit. Fast-tier runs keep
+  /// integer columns bitwise but allow double columns the vmath
+  /// kernels' ULP band against the exact oracle (tolerance constants in
+  /// loadgen.cpp) — the end-to-end check of the accuracy contract in
+  /// api/score.h.
   const api::ScoreResult* expected = nullptr;
 };
 

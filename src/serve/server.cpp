@@ -32,7 +32,8 @@ ScoreServer::ScoreServer(api::DetectorRegistry& registry,
             if (it == conns_.end() || it->second->dead) return;
             Connection& c = *it->second;
             wire::append_result(c.out, item.request_id, item.outputs,
-                                result, item.row_begin, item.rows);
+                                result, item.row_begin, item.rows,
+                                item.accuracy);
             ++stats_.results_out;
             flush_out(c);
           },
@@ -257,9 +258,15 @@ void ScoreServer::parse_frames(Connection& c) {
 
 void ScoreServer::on_request(Connection& c, const wire::RequestView& req) {
   ++stats_.requests_in;
+  if (req.accuracy == core::Accuracy::kFast) {
+    ++stats_.requests_fast;
+  } else {
+    ++stats_.requests_exact;
+  }
   // May flush (and answer other connections) synchronously.
   batcher_.enqueue(c.id, req.request_id, req.model_key, req.outputs,
-                   req.mode, req.features, req.rows, req.cols);
+                   req.mode, req.features, req.rows, req.cols,
+                   req.accuracy);
 }
 
 void ScoreServer::flush_out(Connection& c) {

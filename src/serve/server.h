@@ -45,6 +45,9 @@ struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
   std::uint64_t requests_in = 0;
+  /// requests_in split by tier (header byte 6; old clients count exact).
+  std::uint64_t requests_exact = 0;
+  std::uint64_t requests_fast = 0;
   std::uint64_t results_out = 0;
   std::uint64_t errors_out = 0;
   std::uint64_t bytes_in = 0;

@@ -28,11 +28,13 @@ T get_pod(const unsigned char* p) {
 }
 
 void put_header(std::vector<unsigned char>& out, FrameType type,
-                std::uint32_t request_id, std::uint32_t payload_bytes) {
+                std::uint32_t request_id, std::uint32_t payload_bytes,
+                core::Accuracy accuracy = core::Accuracy::kExact) {
   put_bytes(out, kMagic, sizeof(kMagic));
   put_pod(out, kProtocolVersion);
   put_pod(out, static_cast<std::uint8_t>(type));
-  put_pod(out, std::uint16_t{0});
+  put_pod(out, static_cast<std::uint8_t>(accuracy));  // byte 6: tier
+  put_pod(out, std::uint8_t{0});                      // byte 7: reserved
   put_pod(out, request_id);
   put_pod(out, payload_bytes);
 }
@@ -229,25 +231,33 @@ std::size_t parse_frame(const unsigned char* data, std::size_t size,
                     "declared payload " + std::to_string(payload) +
                         " bytes exceeds the frame cap");
   }
-  const auto reserved = get_pod<std::uint16_t>(data + 6);
+  const auto accuracy_raw = data[6];
+  const auto reserved = data[7];
   const auto type_raw = data[5];
   if (size < kHeaderBytes + payload) return 0;  // frame not complete yet
 
   // From here the whole frame is present and its length is trusted —
   // every error below is survivable (the caller skips this frame).
+  if (accuracy_raw > static_cast<std::uint8_t>(core::Accuracy::kFast)) {
+    throw WireError(ErrorCode::kBadPayload, request_id,
+                    "unknown accuracy tier " + std::to_string(accuracy_raw));
+  }
   if (reserved != 0) {
     throw WireError(ErrorCode::kBadPayload, request_id,
-                    "reserved header bytes are non-zero");
+                    "reserved header byte is non-zero");
   }
+  const auto accuracy = static_cast<core::Accuracy>(accuracy_raw);
   const unsigned char* p = data + kHeaderBytes;
   switch (type_raw) {
     case static_cast<std::uint8_t>(FrameType::kScoreRequest):
       out.type = FrameType::kScoreRequest;
       parse_request_payload(p, payload, request_id, out.request);
+      out.request.accuracy = accuracy;
       break;
     case static_cast<std::uint8_t>(FrameType::kScoreResult):
       out.type = FrameType::kScoreResult;
       parse_result_payload(p, payload, request_id, out.result);
+      out.result.accuracy = accuracy;
       break;
     case static_cast<std::uint8_t>(FrameType::kError):
       out.type = FrameType::kError;
@@ -281,7 +291,7 @@ void append_request(std::vector<unsigned char>& out, std::uint32_t request_id,
                     std::string_view model_key, api::OutputMask outputs,
                     std::optional<core::UncertaintyMode> mode,
                     const double* features, std::size_t rows,
-                    std::size_t cols) {
+                    std::size_t cols, core::Accuracy accuracy) {
   HMD_REQUIRE(!model_key.empty() && model_key.size() <= kMaxKeyBytes,
               "append_request: bad model key length");
   HMD_REQUIRE(rows >= 1 && rows <= kMaxRowsPerRequest && cols >= 1 &&
@@ -292,7 +302,7 @@ void append_request(std::vector<unsigned char>& out, std::uint32_t request_id,
   const std::uint64_t payload = 18 + model_key.size() + feature_bytes;
   HMD_REQUIRE(payload <= kMaxPayloadBytes, "append_request: frame too large");
   put_header(out, FrameType::kScoreRequest, request_id,
-             static_cast<std::uint32_t>(payload));
+             static_cast<std::uint32_t>(payload), accuracy);
   put_pod(out, static_cast<std::uint32_t>(outputs));
   put_pod(out, mode ? static_cast<std::uint32_t>(*mode) : kModeUnset);
   put_pod(out, static_cast<std::uint32_t>(rows));
@@ -304,10 +314,11 @@ void append_request(std::vector<unsigned char>& out, std::uint32_t request_id,
 
 void append_result(std::vector<unsigned char>& out, std::uint32_t request_id,
                    api::OutputMask outputs, const api::ScoreResult& result,
-                   std::size_t row_offset, std::size_t rows) {
+                   std::size_t row_offset, std::size_t rows,
+                   core::Accuracy accuracy) {
   const std::uint64_t payload = 8 + result_payload_bytes(outputs, rows);
   put_header(out, FrameType::kScoreResult, request_id,
-             static_cast<std::uint32_t>(payload));
+             static_cast<std::uint32_t>(payload), accuracy);
   put_pod(out, static_cast<std::uint32_t>(outputs));
   put_pod(out, static_cast<std::uint32_t>(rows));
   for_each_column(outputs, result, [&](const auto& column) {

@@ -15,10 +15,22 @@
 //        0     4  magic "HMDW"
 //        4     1  protocol version (kProtocolVersion = 1)
 //        5     1  frame type (FrameType: 1 request, 2 result, 3 error)
-//        6     2  reserved, must be 0
+//        6     1  accuracy tier (core::Accuracy: 0 exact, 1 fast)
+//        7     1  reserved, must be 0
 //        8     4  request id (u32; results/errors echo the request's)
 //       12     4  payload size in bytes (u32)
 //       16     …  payload
+//
+// Byte 6 was reserved-must-be-0 before the accuracy tier existed, which
+// is exactly what makes the extension compatible both ways: an old
+// client's 0 *is* Accuracy::kExact, so it keeps receiving bit-identical
+// responses from new servers, and a new client talking exact-tier frames
+// is indistinguishable from an old one. On request frames the byte is
+// the client's requested tier (values above 1 are a survivable
+// kBadPayload — old servers reject a fast-tier request the same way, so
+// a new client degrades loudly, not silently). On result frames it
+// echoes the tier the server actually scored under. On error frames it
+// is 0. See api/score.h for what the fast tier means numerically.
 //
 // ScoreRequest payload (client -> server):
 //
@@ -189,6 +201,8 @@ struct RequestView {
   std::string_view model_key;
   api::OutputMask outputs = 0;
   std::optional<core::UncertaintyMode> mode;
+  /// Requested serving tier (header byte 6; 0 from old clients = exact).
+  core::Accuracy accuracy = core::Accuracy::kExact;
   std::uint32_t rows = 0;
   std::uint32_t cols = 0;
   /// rows*cols little-endian f64, row-major, unaligned.
@@ -200,6 +214,8 @@ struct RequestView {
 struct ResultView {
   std::uint32_t request_id = 0;
   api::OutputMask outputs = 0;
+  /// Tier the server actually scored under (echoed in header byte 6).
+  core::Accuracy accuracy = core::Accuracy::kExact;
   std::uint32_t rows = 0;
   const unsigned char* columns = nullptr;
 };
@@ -236,14 +252,17 @@ void append_request(std::vector<unsigned char>& out, std::uint32_t request_id,
                     std::string_view model_key, api::OutputMask outputs,
                     std::optional<core::UncertaintyMode> mode,
                     const double* features, std::size_t rows,
-                    std::size_t cols);
+                    std::size_t cols,
+                    core::Accuracy accuracy = core::Accuracy::kExact);
 
 /// Pack rows [row_offset, row_offset + rows) of `result`'s selected
 /// columns — the scatter step: `result` may be a coalesced multi-client
-/// batch, and this slices one client's rows back out of it.
+/// batch, and this slices one client's rows back out of it. `accuracy`
+/// is the tier the rows were scored under, echoed in header byte 6.
 void append_result(std::vector<unsigned char>& out, std::uint32_t request_id,
                    api::OutputMask outputs, const api::ScoreResult& result,
-                   std::size_t row_offset, std::size_t rows);
+                   std::size_t row_offset, std::size_t rows,
+                   core::Accuracy accuracy = core::Accuracy::kExact);
 
 void append_error(std::vector<unsigned char>& out, std::uint32_t request_id,
                   ErrorCode code, std::string_view detail);

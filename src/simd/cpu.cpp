@@ -1,0 +1,114 @@
+#include "simd/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define HMD_SIMD_X86_64 1
+#else
+#define HMD_SIMD_X86_64 0
+#endif
+
+namespace hmd::simd {
+
+namespace {
+
+#if HMD_SIMD_X86_64
+
+/// XCR0 via xgetbv — which register state the OS saves/restores. CPUID
+/// alone is not enough: a kernel that does not context-switch ZMM state
+/// makes AVX-512 unusable even on capable silicon.
+std::uint64_t read_xcr0() {
+  std::uint32_t lo = 0, hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+IsaLevel probe_hardware() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return IsaLevel::kScalar;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx) return IsaLevel::kScalar;
+  const std::uint64_t xcr0 = read_xcr0();
+  const bool ymm_saved = (xcr0 & 0x6) == 0x6;          // XMM + YMM
+  const bool zmm_saved = (xcr0 & 0xe6) == 0xe6;        // + opmask/ZMM
+  if (!ymm_saved) return IsaLevel::kScalar;
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0) {
+    return IsaLevel::kScalar;
+  }
+  const bool avx2 = (ebx7 & (1u << 5)) != 0;
+  if (!avx2 || !fma) return IsaLevel::kScalar;
+
+  const bool avx512f = (ebx7 & (1u << 16)) != 0;
+  const bool avx512dq = (ebx7 & (1u << 17)) != 0;
+  const bool avx512bw = (ebx7 & (1u << 30)) != 0;
+  const bool avx512vl = (ebx7 & (1u << 31)) != 0;
+  if (zmm_saved && avx512f && avx512dq && avx512bw && avx512vl) {
+    return IsaLevel::kAvx512;
+  }
+  return IsaLevel::kAvx2;
+}
+
+#else
+
+IsaLevel probe_hardware() { return IsaLevel::kScalar; }
+
+#endif  // HMD_SIMD_X86_64
+
+/// Programmatic override slot. Encoded as int: -1 = none. Relaxed is
+/// enough — the flag is set during single-threaded tool startup and only
+/// read at engine construction.
+std::atomic<int> g_override{-1};
+
+IsaLevel env_clamp(IsaLevel detected) {
+  const char* env = std::getenv("HMD_SIMD");
+  if (env == nullptr || *env == '\0') return detected;
+  const std::optional<IsaLevel> wanted = parse_isa(env);
+  if (!wanted) return detected;  // unknown spelling: ignore, stay detected
+  return *wanted < detected ? *wanted : detected;
+}
+
+}  // namespace
+
+const char* isa_name(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kAvx2: return "avx2";
+    case IsaLevel::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<IsaLevel> parse_isa(std::string_view text) {
+  if (text == "scalar" || text == "off") return IsaLevel::kScalar;
+  if (text == "avx2") return IsaLevel::kAvx2;
+  if (text == "avx512") return IsaLevel::kAvx512;
+  return std::nullopt;
+}
+
+IsaLevel detected_isa() {
+  static const IsaLevel level = probe_hardware();
+  return level;
+}
+
+IsaLevel active_isa() {
+  const IsaLevel detected = detected_isa();
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto wanted = static_cast<IsaLevel>(forced);
+    return wanted < detected ? wanted : detected;
+  }
+  return env_clamp(detected);
+}
+
+void set_isa_override(std::optional<IsaLevel> level) {
+  g_override.store(level ? static_cast<int>(*level) : -1,
+                   std::memory_order_relaxed);
+}
+
+}  // namespace hmd::simd

@@ -1,0 +1,61 @@
+#pragma once
+// Runtime ISA detection for the vectorised math kernels (simd/vmath.h).
+//
+// One CPUID/xgetbv probe at first use classifies the host into a small
+// ladder of ISA levels; every engine picks its kernel table from the
+// *active* level at construction (the same construction-time dispatch
+// shape as the forest JIT's kernel table, so the two compose). Three
+// knobs, strongest first:
+//
+//   --simd=scalar|avx2|avx512   (serving tools; set_isa_override())
+//   HMD_SIMD=scalar|avx2|avx512 (environment)
+//   hardware detection          (CPUID leaf 1 + leaf 7, xgetbv OS state)
+//
+// An override can only lower the level, never raise it past what the
+// hardware (and the OS's saved-register state) supports: requesting
+// avx512 on an AVX2 host clamps to avx2 and is reported as such, not an
+// error — forced *fallback* is the testing contract (the HMD_SIMD=scalar
+// CI leg), forced illegal instructions are not. On non-x86-64 builds
+// detection always answers kScalar and the overrides are no-ops.
+//
+// Safety: the per-ISA kernel translation units are compiled with their
+// level's -m flags (see CMakeLists.txt), so a kernel must only run when
+// detection proves its level. The scalar kernels are compiled at the
+// x86-64 baseline (not the build host's -march=native) so the scalar
+// level is a true lowest-common-denominator fallback.
+
+#include <optional>
+#include <string_view>
+
+namespace hmd::simd {
+
+/// The kernel ISA ladder, lowest first. Values are ordered: a level
+/// serves on any host whose detected level is >= it.
+enum class IsaLevel : int {
+  kScalar = 0,  ///< x86-64 baseline (SSE2) or any non-x86 target
+  kAvx2 = 1,    ///< AVX2 + FMA, OS YMM state saved
+  kAvx512 = 2,  ///< AVX-512 F/DQ/VL/BW, OS ZMM state saved
+};
+
+/// Short display name: "scalar" / "avx2" / "avx512".
+const char* isa_name(IsaLevel level);
+
+/// Parse a user spelling of an ISA level (the --simd flag and HMD_SIMD
+/// environment values). Unknown spellings return nullopt.
+std::optional<IsaLevel> parse_isa(std::string_view text);
+
+/// The hardware's capability as probed by CPUID/xgetbv (cached after the
+/// first call). Ignores overrides.
+IsaLevel detected_isa();
+
+/// The level kernels actually dispatch on: detection clamped by the
+/// HMD_SIMD environment variable and any set_isa_override(). Engines
+/// read this once at construction.
+IsaLevel active_isa();
+
+/// Programmatic override (the serving tools' --simd flag). Takes
+/// precedence over HMD_SIMD; nullopt restores env-then-detection.
+/// Affects engines constructed afterwards, not live ones.
+void set_isa_override(std::optional<IsaLevel> level);
+
+}  // namespace hmd::simd

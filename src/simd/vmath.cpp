@@ -1,0 +1,32 @@
+#include "simd/vmath.h"
+
+namespace hmd::simd {
+
+// The three per-ISA builds of the one kernel body (vmath_kernels.inc).
+namespace scalar_kernels {
+const VmathKernels& table();
+}
+namespace avx2_kernels {
+const VmathKernels& table();
+}
+namespace avx512_kernels {
+const VmathKernels& table();
+}
+
+const VmathKernels& kernels(IsaLevel level) {
+  // Clamp to what the host can actually execute: the AVX2/AVX-512 units
+  // are compiled with their level's -m flags, so running one on a
+  // lesser host would be an illegal instruction, not a slow path.
+  const IsaLevel detected = detected_isa();
+  const IsaLevel safe = level < detected ? level : detected;
+  switch (safe) {
+    case IsaLevel::kAvx512: return avx512_kernels::table();
+    case IsaLevel::kAvx2: return avx2_kernels::table();
+    case IsaLevel::kScalar: break;
+  }
+  return scalar_kernels::table();
+}
+
+const VmathKernels& kernels() { return kernels(active_isa()); }
+
+}  // namespace hmd::simd

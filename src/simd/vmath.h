@@ -1,0 +1,80 @@
+#pragma once
+// Vectorised transcendental kernels with a proven accuracy bound — the
+// fast tier of the two-tier accuracy contract (api/score.h).
+//
+// ## What these are
+//
+// Array forms of exp / log / sigmoid / binary entropy, written as fully
+// branchless straight-line code (fdlibm-style range reduction +
+// polynomial, with every special case folded into lane-wise selects) and
+// compiled once per ISA level: the same source builds as a scalar
+// x86-64-baseline translation unit, an AVX2 unit, and an AVX-512 unit
+// (see CMakeLists.txt), so the compiler's vectoriser emits 2/4/8-lane
+// double code from one definition. kernels() returns the table matching
+// simd::active_isa() — engines capture it once at construction.
+//
+// ## The accuracy contract
+//
+//  - exp_array / log_array: each element is within 2 units in the last
+//    place (ULP) of the correctly rounded result, lane position
+//    irrelevant. The core approximations (fdlibm's) are sub-ulp; the
+//    budget covers the one extra rounding the two-step 2^k scaling pays
+//    when exp underflows into the denormal range. Special values are
+//    exact: exp(±0)=1, exp(-inf)=0, exp(+inf)=+inf, log(±0)=-inf,
+//    log(1)=0, log(+inf)=+inf, log of a negative is NaN, NaN propagates.
+//    Denormal inputs are handled at full precision (log pre-scales by
+//    2^54; exp produces denormals through the two-step scaling).
+//  - sigmoid_array: matches the exact tier's saturation shortcuts
+//    *exactly* — t >= 40 yields 1.0 and t <= -745 yields 0.0, the same
+//    thresholds (and the same bit patterns) FlatLinearEngine's reference
+//    link_probability produces. Between the thresholds the value is
+//    1/(1+exp(-t)) with the fast exp: ≤ 2 ULP from exp plus one
+//    rounding each for the add and divide.
+//  - binary_entropy_array: H(p) = -p·ln(p) - (1-p)·ln(1-p) in nats with
+//    H(p)=0 for p outside (0,1), composed from the fast log.
+//
+// All four are deterministic: the same input array yields the same bits
+// on every call and every ISA level. The whole library is built with
+// -ffp-contract=off, so the scalar, AVX2, and AVX-512 builds of the one
+// shared kernel body execute identical IEEE-754 operation sequences —
+// lane-for-lane bit parity across levels is by construction, and
+// tests/test_simd.cpp asserts it.
+//
+// ## Who uses them
+//
+// Accuracy::kFast requests only (core/inference_engine.h). The exact
+// tier never calls into this header — its bit-parity-with-libm contract
+// is untouched.
+
+#include <cstddef>
+
+#include "simd/cpu.h"
+
+namespace hmd::simd {
+
+/// One ISA level's kernel table. All functions write out[i] = f(in[i])
+/// for i in [0, n); in and out may alias exactly (in == out) but must
+/// not partially overlap.
+struct VmathKernels {
+  using ArrayFn = void (*)(const double* in, double* out, std::size_t n);
+
+  ArrayFn exp_array = nullptr;
+  ArrayFn log_array = nullptr;
+  ArrayFn sigmoid_array = nullptr;
+  ArrayFn binary_entropy_array = nullptr;
+  /// The level the table was compiled for (isa_name() of it appears in
+  /// serving logs and the bench metadata).
+  IsaLevel level = IsaLevel::kScalar;
+};
+
+/// The kernel table for simd::active_isa() right now. Engines call this
+/// once at construction and keep the reference (tables are immutable
+/// statics with process lifetime).
+const VmathKernels& kernels();
+
+/// The kernel table for a specific level, clamped to detected_isa() —
+/// asking for a level the host cannot execute returns the best legal
+/// table, never an illegal-instruction trap.
+const VmathKernels& kernels(IsaLevel level);
+
+}  // namespace hmd::simd

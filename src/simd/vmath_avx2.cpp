@@ -1,0 +1,8 @@
+// The AVX2 build of the shared vmath kernel body: compiled with
+// -march=x86-64 -mavx2 -mfma (CMakeLists.txt) so the vectoriser emits
+// 4-lane double code, while the explicit baseline keeps the unit honest
+// on hosts whose -march=native would imply more. Only dispatched when
+// CPUID proves AVX2+FMA and the OS saves YMM state (simd/cpu.cpp).
+#define HMD_VMATH_ISA_NS avx2_kernels
+#define HMD_VMATH_ISA_LEVEL ::hmd::simd::IsaLevel::kAvx2
+#include "simd/vmath_kernels.inc"

@@ -1,0 +1,8 @@
+// The AVX-512 build of the shared vmath kernel body: compiled with
+// -march=x86-64 -mavx512f -mavx512dq -mavx512vl -mavx512bw
+// (CMakeLists.txt) for 8-lane double code with native 64-bit arithmetic
+// shifts and int64 conversions. Only dispatched when CPUID proves the
+// F/DQ/VL/BW subsets and the OS saves ZMM state (simd/cpu.cpp).
+#define HMD_VMATH_ISA_NS avx512_kernels
+#define HMD_VMATH_ISA_LEVEL ::hmd::simd::IsaLevel::kAvx512
+#include "simd/vmath_kernels.inc"

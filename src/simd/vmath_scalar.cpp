@@ -1,0 +1,8 @@
+// The x86-64-baseline (SSE2) build of the shared vmath kernel body — the
+// forced-fallback level (HMD_SIMD=scalar / --simd=scalar) and the only
+// level on non-x86 targets. On x86 hosts CMakeLists.txt compiles this
+// unit with -march=x86-64, overriding any -march=native, so "scalar" is
+// a true lowest-common-denominator build, not the host's.
+#define HMD_VMATH_ISA_NS scalar_kernels
+#define HMD_VMATH_ISA_LEVEL ::hmd::simd::IsaLevel::kScalar
+#include "simd/vmath_kernels.inc"

@@ -105,6 +105,19 @@ echo "$out"
 grep -q "parity   ok" <<<"$out" || {
   echo "FAIL: estimate-mask traffic not bit-identical" >&2; exit 1; }
 
+# Leg 2b: the same estimate-mask traffic on the fast accuracy tier. The
+# --verify oracle is always exact-tier, so parity here means every
+# response sat inside the documented ULP band (integer columns
+# bit-identical) — the over-the-wire accuracy contract, end to end.
+out=$("$client_bin" "${connect[@]}" --model=dvfs_RF_M5 --requests=100 \
+    --outputs=estimate --mode=soft_entropy --accuracy=fast \
+    --verify="$models/dvfs_RF_M5.hmdf")
+echo "$out"
+grep -q "parity   ok" <<<"$out" || {
+  echo "FAIL: fast-tier traffic outside the contract band" >&2; exit 1; }
+grep -q "accuracy=fast" <<<"$out" || {
+  echo "FAIL: client did not report the fast tier" >&2; exit 1; }
+
 # Leg 3: the other model key — per-model routing in the batcher.
 out=$("$client_bin" "${connect[@]}" --model=dvfs_LR_M5 --requests=100 \
     --connections=2 --verify="$models/dvfs_LR_M5.hmdf")
@@ -198,6 +211,13 @@ for key in dvfs_RF_M5 dvfs_LR_M5; do
     cat "$workdir/server.log" >&2
     exit 1; }
 done
+# Accuracy summary: the tier counters must show both the exact traffic
+# and leg 2b's fast-tier requests, plus the active simd ISA level.
+grep -Eq "^accuracy [0-9]+ exact-tier, [1-9][0-9]* fast-tier request\(s\), simd (scalar|avx2|avx512)" \
+    "$workdir/server.log" || {
+  echo "FAIL: missing or malformed accuracy summary" >&2
+  cat "$workdir/server.log" >&2
+  exit 1; }
 # Fleet summary: the filter front door must report the bogus-key flood
 # as rejects, and the residency line must account for both models.
 grep -Eq "^fleet    2 key\(s\) in [0-9]+ shard\(s\), filter .* reject\(s\)" \

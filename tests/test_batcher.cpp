@@ -311,6 +311,36 @@ TEST_F(MicroBatcherTest, ModesNeverShareABatch) {
   }
 }
 
+TEST_F(MicroBatcherTest, AccuracyTiersNeverShareABatch) {
+  MicroBatcher batcher = make(BatcherOptions{});
+  // Same model, same mode, same mask — only the tier differs. Coalescing
+  // them would score the exact rows through the fast kernels (or vice
+  // versa), so they must land in separate queues.
+  batcher.enqueue(1, 1, "good", api::kEstimateOutputs,
+                  core::UncertaintyMode::kSoftEntropy, row_bytes(0), 2,
+                  x().cols(), core::Accuracy::kExact);
+  batcher.enqueue(2, 2, "good", api::kEstimateOutputs,
+                  core::UncertaintyMode::kSoftEntropy, row_bytes(2), 2,
+                  x().cols(), core::Accuracy::kFast);
+  batcher.flush_all();
+  EXPECT_EQ(batcher.stats().batches, 2u);  // one score() call per tier
+  ASSERT_EQ(log_.answers.size(), 2u);
+  for (const auto& answer : log_.answers) {
+    if (answer.item.request_id == 1) {
+      EXPECT_EQ(answer.item.accuracy, core::Accuracy::kExact);
+      // The exact tier keeps the bit-parity scatter/gather contract even
+      // with a fast sibling in flight.
+      expect_slice_matches(answer,
+                           direct(0, 2, api::kEstimateOutputs,
+                                  core::UncertaintyMode::kSoftEntropy));
+    } else {
+      EXPECT_EQ(answer.item.request_id, 2u);
+      EXPECT_EQ(answer.item.accuracy, core::Accuracy::kFast);
+      EXPECT_EQ(answer.batch.rows, 2u);
+    }
+  }
+}
+
 TEST_F(MicroBatcherTest, HeterogeneousMasksCoalesceAndScatterBitIdentical) {
   BatcherOptions options;
   options.max_batch_rows = 64;

@@ -1,0 +1,52 @@
+// HpcFeaturizer edge cases: a counter window that recorded cycles but
+// zero (or near-zero) activity everywhere else must still produce finite
+// features — the per-rate denominators are floored at 1, so an idle
+// window can never inject inf/NaN into a feature matrix and poison the
+// standardiser downstream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "features/hpc_features.h"
+#include "sim/soc.h"
+
+namespace {
+
+using namespace hmd;
+
+TEST(HpcFeaturizerTest, ZeroInstructionWindowYieldsFiniteFeatures) {
+  sim::HpcWindow window;
+  window.cycles = 1e6;  // only the timebase ticked
+  const features::HpcFeaturizer featurizer;
+  const std::vector<double> out = featurizer.features(window);
+  ASSERT_EQ(out.size(), features::HpcFeaturizer::n_features());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i])) << "feature " << i << " = " << out[i];
+  }
+  // The instruction-derived rates degrade to zero, not to 0/0.
+  EXPECT_EQ(out[0], 0.0);                 // IPC
+  EXPECT_EQ(out[6], std::log(1.0));       // log(instructions) floored
+}
+
+TEST(HpcFeaturizerTest, SparseCountersStayFinite) {
+  // Instructions present but every other event count zero: each rate's
+  // own denominator floor has to hold, not just the instructions one.
+  sim::HpcWindow window;
+  window.cycles = 5e5;
+  window.instructions = 1e5;
+  const features::HpcFeaturizer featurizer;
+  const std::vector<double> out = featurizer.features(window);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i])) << "feature " << i << " = " << out[i];
+  }
+  EXPECT_NEAR(out[0], 0.2, 1e-12);  // IPC survives
+}
+
+TEST(HpcFeaturizerTest, EmptyWindowIsRejected) {
+  const features::HpcFeaturizer featurizer;
+  EXPECT_THROW(featurizer.features(sim::HpcWindow{}), InvalidArgument);
+}
+
+}  // namespace

@@ -149,6 +149,105 @@ TEST(CuckooFilterTest, ConcurrentInsertAndProbeDuringGrowth) {
   }
 }
 
+TEST(CuckooFilterTest, RebuildCompactsChurnWithNoFalseNegatives) {
+  fleet::DynamicCuckooFilter::Options options;
+  options.initial_capacity = 64;  // churn inflates through many segments
+  fleet::DynamicCuckooFilter filter(options);
+
+  const int inserted = 20000;
+  const int survivors = 1000;
+  for (int i = 0; i < inserted; ++i) filter.insert(nth_key("key", i));
+  for (int i = survivors; i < inserted; ++i) {
+    ASSERT_TRUE(filter.erase(nth_key("key", i)));
+  }
+  const fleet::FilterStats before = filter.stats();
+  ASSERT_GT(before.segments, 1u);  // the slack rebuild() exists to shed
+
+  std::vector<std::string> live;
+  live.reserve(survivors);
+  for (int i = 0; i < survivors; ++i) live.push_back(nth_key("key", i));
+  filter.rebuild({live.begin(), live.end()});
+
+  const fleet::FilterStats after = filter.stats();
+  EXPECT_EQ(after.rebuilds, 1u);
+  EXPECT_EQ(after.segments, 1u);  // right-sized: one segment fits 1k keys
+  EXPECT_LT(after.slots, before.slots);
+  EXPECT_LE(after.fp_bound, before.fp_bound);
+  EXPECT_EQ(filter.size(), static_cast<std::size_t>(survivors));
+
+  // The hard invariant survives the swap: every live key still answers
+  // "maybe"...
+  for (int i = 0; i < survivors; ++i) {
+    ASSERT_TRUE(filter.may_contain(nth_key("key", i))) << i;
+  }
+  // ...and the FP rate over strangers honours the (now single-segment)
+  // bound. Erased keys are strangers too — their fingerprints are gone.
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.may_contain(nth_key("stranger", i))) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  EXPECT_LE(rate, after.fp_bound * 1.5 + 0.001) << "measured " << rate;
+
+  // Filter stays fully writable after a rebuild.
+  filter.insert("post_rebuild");
+  EXPECT_TRUE(filter.may_contain("post_rebuild"));
+}
+
+TEST(CuckooFilterTest, RebuildUnderConcurrentProbesKeepsLiveKeysVisible) {
+  fleet::DynamicCuckooFilter::Options options;
+  options.initial_capacity = 64;
+  fleet::DynamicCuckooFilter filter(options);
+
+  // A stable live set the probing threads assert on throughout, plus a
+  // churn range the writer cycles to force growth and rebuilds.
+  const int stable = 2000;
+  std::vector<std::string> live;
+  live.reserve(stable);
+  for (int i = 0; i < stable; ++i) {
+    live.push_back(nth_key("stable", i));
+    filter.insert(live.back());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> false_negatives{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&filter, &live, &stop, &false_negatives] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // A false negative on a live key here is the bug the graveyard
+        // and the seqlock-validated swap exist to prevent.
+        if (!filter.may_contain(
+                live[static_cast<std::size_t>(i++) % live.size()])) {
+          false_negatives.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 3000; ++i) filter.insert(nth_key("churn", round, i));
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(filter.erase(nth_key("churn", round, i)));
+    }
+    filter.rebuild({live.begin(), live.end()});
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(false_negatives.load(), 0);
+
+  const fleet::FilterStats stats = filter.stats();
+  EXPECT_EQ(stats.rebuilds, 8u);
+  EXPECT_EQ(filter.size(), static_cast<std::size_t>(stable));
+  for (const std::string& key : live) {
+    ASSERT_TRUE(filter.may_contain(key));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ShardedKeyMap
 
@@ -318,6 +417,44 @@ TEST_F(FleetRegistryTest, RemoveUnregistersButSnapshotsSurvive) {
   // The held snapshot is a lease on the old version: still scores.
   const auto& x = test::small_dvfs().test.X;
   EXPECT_EQ(snapshot->detect_batch(x).size(), x.rows());
+}
+
+TEST_F(FleetRegistryTest, KeyChurnTriggersFilterRebuild) {
+  // add()/remove()/contains() never touch the filesystem, so fake paths
+  // are enough to drive the churn accounting.
+  api::DetectorRegistry registry(1);
+  const int total = 600;
+  for (int i = 0; i < total; ++i) {
+    registry.add(nth_key("m", i), "unused.hmdf");
+  }
+  ASSERT_EQ(registry.fleet_stats().filter.rebuilds, 0u);
+
+  // Remove until erases-since-rebuild reaches both the floor and the
+  // live count — the automatic compaction point remove() documents.
+  const int removed = 500;
+  for (int i = 0; i < removed; ++i) {
+    ASSERT_TRUE(registry.remove(nth_key("m", i)));
+  }
+  const fleet::FleetStats stats = registry.fleet_stats();
+  EXPECT_GE(stats.filter.rebuilds, 1u);
+  EXPECT_EQ(stats.keys, static_cast<std::size_t>(total - removed));
+  // Post-rebuild exactness both ways: live keys answer, removed keys
+  // bounce (a rebuild that lost a live fingerprint would false-negative
+  // here, through the public surface).
+  for (int i = removed; i < total; ++i) {
+    ASSERT_TRUE(registry.contains(nth_key("m", i))) << i;
+  }
+  int removed_hits = 0;
+  for (int i = 0; i < removed; ++i) {
+    if (registry.contains(nth_key("m", i))) ++removed_hits;
+  }
+  EXPECT_EQ(removed_hits, 0);  // exact map answers "no" regardless of FP
+
+  // The explicit maintenance hook compacts on demand too.
+  registry.rebuild_filter();
+  EXPECT_GE(registry.fleet_stats().filter.rebuilds, 2u);
+  EXPECT_EQ(registry.fleet_stats().filter.keys,
+            static_cast<std::size_t>(total - removed));
 }
 
 TEST_F(FleetRegistryTest, ResidencyBudgetEvictsColdestAndReloadsBitIdentical) {

@@ -150,6 +150,43 @@ TEST(WireTest, ResultRoundTripEveryMaskCombination) {
   }
 }
 
+TEST(WireTest, AccuracyTierRoundTripsOnRequestsAndResults) {
+  const double feature = 1.0;
+
+  // Default append (no accuracy argument) writes byte 6 = 0 — the exact
+  // tier, and the exact bytes a pre-tier client emitted.
+  std::vector<unsigned char> bytes;
+  serve::wire::append_request(bytes, 1, "m", api::kPredictionOnly,
+                              std::nullopt, &feature, 1, 1);
+  EXPECT_EQ(bytes[6], 0);
+  Frame frame;
+  ASSERT_EQ(parse_ok(bytes, frame), bytes.size());
+  EXPECT_EQ(frame.request.accuracy, core::Accuracy::kExact);
+
+  // Explicit fast tier rides header byte 6 both directions.
+  bytes.clear();
+  serve::wire::append_request(bytes, 2, "m", api::kPredictionOnly,
+                              std::nullopt, &feature, 1, 1,
+                              core::Accuracy::kFast);
+  EXPECT_EQ(bytes[6], 1);
+  ASSERT_EQ(parse_ok(bytes, frame), bytes.size());
+  EXPECT_EQ(frame.request.accuracy, core::Accuracy::kFast);
+
+  const api::ScoreResult source = filled_result(2);
+  bytes.clear();
+  serve::wire::append_result(bytes, 3, api::kDetectionOutputs, source, 0, 2,
+                             core::Accuracy::kFast);
+  EXPECT_EQ(bytes[6], 1);
+  ASSERT_EQ(parse_ok(bytes, frame), bytes.size());
+  ASSERT_EQ(frame.type, FrameType::kScoreResult);
+  EXPECT_EQ(frame.result.accuracy, core::Accuracy::kFast);
+
+  bytes.clear();
+  serve::wire::append_result(bytes, 4, api::kDetectionOutputs, source, 0, 2);
+  ASSERT_EQ(parse_ok(bytes, frame), bytes.size());
+  EXPECT_EQ(frame.result.accuracy, core::Accuracy::kExact);
+}
+
 TEST(WireTest, ResultSliceExtractsTheRequestedRows) {
   const api::ScoreResult source = filled_result(10);
   std::vector<unsigned char> bytes;
@@ -241,7 +278,12 @@ TEST(WireTest, MalformedFrameRejectionSweep) {
       serve::wire::error_closes_connection(ErrorCode::kBadFrameType));
 
   bad = good;
-  bad[6] = 1;  // reserved bytes must be zero
+  bad[6] = 2;  // accuracy tier above kFast
+  EXPECT_EQ(parse_code(bad), ErrorCode::kBadPayload);
+  EXPECT_FALSE(serve::wire::error_closes_connection(ErrorCode::kBadPayload));
+
+  bad = good;
+  bad[7] = 1;  // the reserved byte must stay zero
   EXPECT_EQ(parse_code(bad), ErrorCode::kBadPayload);
 
   // Empty and unknown OutputMask bits.
@@ -413,6 +455,9 @@ TEST_F(WireSocketTest, SurvivableErrorThenValidRequestOnSameConnection) {
   frame = read_frame(fd, storage);
   ASSERT_EQ(frame.type, FrameType::kScoreResult);
   EXPECT_EQ(frame.result.request_id, 23u);
+  // An old-style request (header byte 6 = 0) is served on the exact tier
+  // and the result echoes it — pre-tier clients see pre-tier bytes.
+  EXPECT_EQ(frame.result.accuracy, core::Accuracy::kExact);
   api::ScoreResult got;
   serve::wire::unpack_result(frame.result, got);
 
@@ -466,6 +511,62 @@ TEST_F(WireSocketTest, UnknownModelFloodKeepsTypedErrorAndConnection) {
   const Frame frame = read_frame(fd, storage);
   ASSERT_EQ(frame.type, FrameType::kScoreResult);
   EXPECT_EQ(frame.result.request_id, 2000u);
+  ::close(fd);
+}
+
+// A fast-tier request over the socket: the result frame echoes the tier,
+// integer columns match the exact direct score() bitwise, and the double
+// columns sit inside the vmath ULP band — the over-the-wire half of the
+// accuracy contract in api/score.h.
+TEST_F(WireSocketTest, FastTierEchoedAndWithinUlpOfExact) {
+  const Matrix& x = test::small_dvfs().test.X;
+  const std::size_t rows = 4;
+  const int fd = connect_client();
+
+  std::vector<unsigned char> bytes;
+  serve::wire::append_request(bytes, 31, "m", api::kEstimateOutputs,
+                              core::UncertaintyMode::kSoftEntropy,
+                              x.row_ptr(0), rows, x.cols(),
+                              core::Accuracy::kFast);
+  send_all(fd, bytes);
+  std::vector<unsigned char> storage;
+  const Frame frame = read_frame(fd, storage);
+  ASSERT_EQ(frame.type, FrameType::kScoreResult);
+  EXPECT_EQ(frame.result.accuracy, core::Accuracy::kFast);
+  api::ScoreResult got;
+  serve::wire::unpack_result(frame.result, got);
+  ASSERT_EQ(got.rows, rows);
+
+  api::ScoreRequest direct;
+  direct.x = &x;
+  direct.outputs = api::kEstimateOutputs;
+  direct.mode = core::UncertaintyMode::kSoftEntropy;
+  api::ScoreResult want;  // exact-tier oracle
+  hmd_->score(direct, want);
+
+  const auto close_enough = [](double a, double b) {
+    if (a == b) return true;
+    if (std::abs(a - b) <= 1e-12) return true;
+    const auto rank = [](double v) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      return (bits >> 63) ? ~bits : (bits | 0x8000000000000000ull);
+    };
+    const std::uint64_t ra = rank(a), rb = rank(b);
+    return (ra > rb ? ra - rb : rb - ra) <= 8;
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(got.prediction[r], want.prediction[r]) << r;
+    EXPECT_EQ(got.votes[r], want.votes[r]) << r;
+    EXPECT_EQ(got.trusted[r], want.trusted[r]) << r;
+    EXPECT_TRUE(close_enough(got.soft_entropy[r], want.soft_entropy[r]))
+        << r << ": " << got.soft_entropy[r] << " vs "
+        << want.soft_entropy[r];
+    EXPECT_TRUE(close_enough(got.score[r], want.score[r])) << r;
+    EXPECT_TRUE(close_enough(got.mutual_information[r],
+                             want.mutual_information[r]))
+        << r;
+  }
   ::close(fd);
 }
 

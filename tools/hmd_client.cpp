@@ -16,6 +16,12 @@
 // contract in serve/wire.h: framing, batching, coalescing, and
 // scatter-gather must be invisible in the bytes.
 //
+// --accuracy=fast stamps the fast tier (wire header byte 6) on every
+// request. The --verify oracle is always scored exact-tier, so a
+// fast-tier verify run checks the accuracy contract in api/score.h
+// end to end: integer columns stay bitwise, double columns must land
+// within the vmath kernels' ULP band of the exact values.
+//
 // Exit codes: 0 success, 1 parity mismatch / error frames / transport
 // failure, 2 usage, 3 cannot load the --verify artifact.
 //
@@ -23,7 +29,7 @@
 //                   [--scale=F] [--threads=N] [--requests=N] [--rows=N]
 //                   [--connections=N] [--pipeline=N] [--rate=RPS]
 //                   [--outputs=prediction|detect|estimate] [--mode=NAME]
-//                   [--verify=ARTIFACT]
+//                   [--accuracy=exact|fast] [--verify=ARTIFACT]
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +57,7 @@ using namespace hmd;
       "[--dataset=dvfs|hpc] [--scale=F] [--threads=N] [--requests=N] "
       "[--rows=N] [--connections=N] [--pipeline=N] [--rate=RPS] "
       "[--outputs=prediction|detect|estimate] [--mode=NAME] "
-      "[--verify=ARTIFACT]\n",
+      "[--accuracy=exact|fast] [--verify=ARTIFACT]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -64,6 +70,8 @@ struct ClientArgs {
   api::OutputMask outputs = api::kDetectionOutputs;
   std::string outputs_name = "detect";
   std::optional<core::UncertaintyMode> mode;
+  core::Accuracy accuracy = core::Accuracy::kExact;
+  std::string accuracy_name = "exact";
   std::uint64_t requests = 1000;
   std::size_t rows = 8;
   int connections = 1;
@@ -116,6 +124,12 @@ ClientArgs parse_args(int argc, char** argv) {
       if (!args.mode) cli.reject();
       continue;
     }
+    if (cli.match_choice("--accuracy", {"exact", "fast"},
+                         args.accuracy_name)) {
+      args.accuracy = args.accuracy_name == "fast" ? core::Accuracy::kFast
+                                                   : core::Accuracy::kExact;
+      continue;
+    }
     if (cli.match("--verify", args.verify_artifact)) continue;
     cli.reject();
   }
@@ -137,6 +151,7 @@ int main(int argc, char** argv) {
   options.model_key = args.model_key;
   options.outputs = args.outputs;
   options.mode = args.mode;
+  options.accuracy = args.accuracy;
   options.rows_per_request = args.rows;
   options.connections = args.connections;
   options.pipeline = args.pipeline;
@@ -170,9 +185,11 @@ int main(int argc, char** argv) {
     options.expected = &expected;
   }
 
-  std::printf("client   %s:%u model=%s outputs=%s rows/req=%zu conns=%d %s\n",
+  std::printf("client   %s:%u model=%s outputs=%s accuracy=%s rows/req=%zu "
+              "conns=%d %s\n",
               options.host.c_str(), options.port, args.model_key.c_str(),
-              args.outputs_name.c_str(), args.rows, args.connections,
+              args.outputs_name.c_str(), args.accuracy_name.c_str(),
+              args.rows, args.connections,
               args.rate > 0.0
                   ? ("open-loop " + std::to_string(args.rate) + " rps").c_str()
                   : ("closed-loop pipeline=" + std::to_string(args.pipeline))
@@ -203,9 +220,12 @@ int main(int argc, char** argv) {
     std::printf("error    last error frame: %s\n", report.last_error.c_str());
   }
   if (!args.verify_artifact.empty()) {
+    const char* ok_text =
+        args.accuracy == core::Accuracy::kFast
+            ? "ok (within ULP tolerance of direct exact score())"
+            : "ok (bit-identical to direct score())";
     std::printf("parity   %s\n",
-                report.parity_ok ? "ok (bit-identical to direct score())"
-                                 : report.parity_detail.c_str());
+                report.parity_ok ? ok_text : report.parity_detail.c_str());
   }
 
   const bool failed = report.wire_errors > 0 || !report.parity_ok ||

@@ -60,6 +60,14 @@
 // `fleet`/`resident` summary lines with filter occupancy and eviction
 // counters, and each `health` line carries the entry's eviction tally.
 //
+// Numeric knobs: --accuracy=exact|fast picks the serving tier for the
+// legacy closed-loop driver (api/score.h — fast permits the vectorised
+// ≤2-ULP transcendental kernels; socket clients pick their tier per
+// request instead, and the traffic summary reports the split).
+// --simd=auto|scalar|avx2|avx512 caps the runtime ISA dispatch for those
+// kernels (simd/cpu.h; the flag beats the HMD_SIMD env var, and neither
+// can raise the level above what CPUID detected).
+//
 // usage: hmd_serve [--models=DIR] [model.hmdf ...] [--listen=HOST:PORT]
 //                  [--dataset=dvfs|hpc] [--batches=N] [--threads=N]
 //                  [--scale=F] [--model=rf|lr|svm]
@@ -67,6 +75,7 @@
 //                  [--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N]
 //                  [--swap-with=PATH] [--mmap[=on|off]] [--sleep-ms=N]
 //                  [--residency-mb=N] [--filter[=on|off]]
+//                  [--accuracy=exact|fast] [--simd=auto|scalar|avx2|avx512]
 
 #include <csignal>
 
@@ -91,6 +100,7 @@
 #include "core/hmd.h"
 #include "jit/jit.h"
 #include "serve/server.h"
+#include "simd/cpu.h"
 
 namespace {
 
@@ -107,7 +117,8 @@ using clock_type = std::chrono::steady_clock;
       "[--outputs=prediction|detect|estimate] [--refresh-ms=N] "
       "[--refresh-every=N] [--batch-rows=N] [--batch-delay-us=N] "
       "[--swap-with=PATH] [--mmap[=on|off]] [--jit[=on|off|auto]] "
-      "[--sleep-ms=N] [--residency-mb=N] [--filter[=on|off]]\n",
+      "[--sleep-ms=N] [--residency-mb=N] [--filter[=on|off]] "
+      "[--accuracy=exact|fast] [--simd=auto|scalar|avx2|avx512]\n",
       flag.c_str());
   std::exit(2);
 }
@@ -130,6 +141,8 @@ struct ServeArgs {
   core::LoadMode load_mode = core::LoadMode::kAuto;
   int residency_mb = 0;  ///< resident-artifact budget; 0 = unbounded
   bool filter = true;    ///< cuckoo-filter front door for unknown keys
+  core::Accuracy accuracy = core::Accuracy::kExact;
+  std::string accuracy_name = "exact";
   bench::BenchOptions options;
 
   /// The effective wall-clock cadence: --refresh-ms wins; the legacy
@@ -213,6 +226,25 @@ ServeArgs parse_args(int argc, char** argv) {
         jit::set_policy(jit::Policy::kOff);
       } else if (toggle == "auto") {
         jit::set_policy(jit::Policy::kAuto);
+      } else {
+        cli.reject();
+      }
+      continue;
+    }
+    if (cli.match_choice("--accuracy", {"exact", "fast"},
+                         args.accuracy_name)) {
+      args.accuracy = args.accuracy_name == "fast" ? core::Accuracy::kFast
+                                                   : core::Accuracy::kExact;
+      continue;
+    }
+    if (cli.match("--simd", toggle)) {
+      // Cap the runtime ISA dispatch: "auto" restores pure detection,
+      // anything else clamps down to the named level (never up — an
+      // override cannot make the host execute instructions it lacks).
+      if (toggle == "auto") {
+        simd::set_isa_override(std::nullopt);
+      } else if (const auto level = simd::parse_isa(toggle)) {
+        simd::set_isa_override(*level);
       } else {
         cli.reject();
       }
@@ -382,6 +414,11 @@ int run_listen(const ServeArgs& args, api::DetectorRegistry& registry,
               static_cast<unsigned long long>(stats.results_out),
               static_cast<unsigned long long>(stats.errors_out),
               static_cast<unsigned long long>(stats.connections_accepted));
+  std::printf("accuracy %llu exact-tier, %llu fast-tier request(s), simd "
+              "%s\n",
+              static_cast<unsigned long long>(stats.requests_exact),
+              static_cast<unsigned long long>(stats.requests_fast),
+              simd::isa_name(simd::active_isa()));
   const double mean_rows =
       batcher.batches > 0 ? static_cast<double>(batcher.rows) /
                                 static_cast<double>(batcher.batches)
@@ -476,8 +513,10 @@ int run(const ServeArgs& args) {
     return run_listen(args, registry, served.size(), mode_name);
   }
   std::printf(
-      "serving  %zu model(s), outputs=%s, load=%s, refresh every %d ms\n",
-      served.size(), args.outputs_name.c_str(), mode_name,
+      "serving  %zu model(s), outputs=%s, accuracy=%s (simd %s), load=%s, "
+      "refresh every %d ms\n",
+      served.size(), args.outputs_name.c_str(), args.accuracy_name.c_str(),
+      simd::isa_name(simd::active_isa()), mode_name,
       args.effective_refresh_ms());
 
   const data::DatasetBundle bundle = args.dataset == "dvfs"
@@ -486,6 +525,7 @@ int run(const ServeArgs& args) {
   api::ScoreRequest request;
   request.x = &bundle.test.X;
   request.outputs = args.outputs;
+  request.accuracy = args.accuracy;
 
   const int swap_round = args.batches / 2;
   bool swap_verified = args.swap_with.empty();
